@@ -1,0 +1,89 @@
+// Command samie-bench regenerates the paper's evaluation artefacts:
+// every figure (1, 3, 4, 5, 6, 7-12) and table (1, 4, 5, 6) plus the
+// §3.6 delay analysis.
+//
+// Usage:
+//
+//	samie-bench                      # everything, default budget
+//	samie-bench -insts 1000000       # higher-fidelity run
+//	samie-bench -fig 5 -fig 6        # specific figures
+//	samie-bench -bench ammp,swim     # subset of the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"samielsq/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string     { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var figs figList
+	insts := flag.Uint64("insts", experiments.DefaultInsts, "measured instructions per benchmark")
+	benchCSV := flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
+	flag.Var(&figs, "fig", "figure to regenerate (1,3,4,5,6,7..12); repeatable")
+	table1 := flag.Bool("table1", false, "regenerate Table 1 only")
+	delays := flag.Bool("delays", false, "regenerate the §3.6 delay analysis only")
+	tables456 := flag.Bool("tables456", false, "print Tables 4/5/6 and model cross-checks only")
+	flag.Parse()
+
+	benchmarks := experiments.Benchmarks()
+	if *benchCSV != "" {
+		benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	specific := len(figs) > 0 || *table1 || *delays || *tables456
+	want := func(f string) bool {
+		if !specific {
+			return true
+		}
+		for _, g := range figs {
+			if g == f {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("1") {
+		fmt.Println(experiments.Figure1(benchmarks, *insts))
+	}
+	if want("3") {
+		fmt.Println(experiments.Figure3(benchmarks, *insts))
+	}
+	if want("4") {
+		fmt.Println(experiments.Figure4(benchmarks, *insts, nil))
+	}
+	if want("5") || want("6") {
+		fmt.Println(experiments.Figure56(benchmarks, *insts))
+	}
+	energyWanted := false
+	for _, f := range []string{"7", "8", "9", "10", "11", "12"} {
+		if want(f) {
+			energyWanted = true
+		}
+	}
+	if energyWanted {
+		fmt.Println(experiments.Energy(benchmarks, *insts))
+	}
+	if !specific || *table1 {
+		fmt.Println(experiments.Table1())
+	}
+	if !specific || *delays {
+		fmt.Println(experiments.Delays())
+	}
+	if !specific || *tables456 {
+		fmt.Println(experiments.Tables456String())
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+}

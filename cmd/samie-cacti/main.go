@@ -1,0 +1,51 @@
+// Command samie-cacti queries the analytical CACTI-3.0-style model:
+// access delay, energy and area for RAM/CAM arrays and set-associative
+// caches at 0.10 µm, as used by the paper's Table 1 and §3.6.
+//
+// Usage:
+//
+//	samie-cacti -kind cache -size 8192 -ways 4 -line 32 -ports 2
+//	samie-cacti -kind cam -rows 128 -bits 32 -ports 4
+//	samie-cacti -kind ram -rows 64 -bits 41 -ports 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samielsq/internal/cacti"
+)
+
+func main() {
+	kind := flag.String("kind", "cache", "structure kind: cache, ram, cam")
+	size := flag.Int("size", 8192, "cache size in bytes")
+	ways := flag.Int("ways", 4, "cache associativity")
+	line := flag.Int("line", 32, "cache line bytes")
+	rows := flag.Int("rows", 128, "array rows (ram/cam)")
+	bits := flag.Int("bits", 32, "array bits per row (ram/cam)")
+	ports := flag.Int("ports", 2, "read/write ports")
+	flag.Parse()
+
+	tech := cacti.Tech100nm()
+	switch *kind {
+	case "cache":
+		d := tech.CacheAccess(*size, *ways, *line, *ports)
+		impr := 0.0
+		if d.Conventional > 0 {
+			impr = (1 - d.WayKnown/d.Conventional) * 100
+		}
+		fmt.Printf("%dKB %d-way %d-port cache (%dB lines)\n", *size>>10, *ways, *ports, *line)
+		fmt.Printf("  conventional access  %.3f ns\n", d.Conventional)
+		fmt.Printf("  way-known access     %.3f ns (%.1f%% faster)\n", d.WayKnown, impr)
+	case "ram", "cam":
+		g := cacti.Geometry{Rows: *rows, Bits: *bits, Assoc: 1, Ports: *ports, CAM: *kind == "cam"}
+		fmt.Printf("%s array: %d rows x %d bits, %d ports\n", *kind, *rows, *bits, *ports)
+		fmt.Printf("  access delay  %.3f ns\n", tech.AccessDelay(g))
+		fmt.Printf("  access energy %.2f pJ\n", tech.AccessEnergy(g))
+		fmt.Printf("  area          %.0f um^2\n", tech.Area(g))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,51 @@
+// bankingexplorer sweeps the SAMIE-LSQ geometry — banks x entries and
+// slots per entry — on one benchmark, reproducing the §3.5 sizing
+// discussion: highly banked DistribLSQs need a SharedLSQ for
+// conflicting addresses, and more slots per entry trade leakage for
+// Dcache/DTLB energy.
+package main
+
+import (
+	"fmt"
+
+	"samielsq"
+	"samielsq/internal/experiments"
+	"samielsq/internal/stats"
+)
+
+func main() {
+	const bench = "ammp" // the paper's worst-case concentrated program
+	const insts = 120_000
+
+	fmt.Printf("SAMIE-LSQ geometry sweep on %q\n\n", bench)
+
+	t := stats.NewTable("geometry", "IPC", "shared occ", "AddrBuffer idle", "deadlocks/Mcycle", "LSQ energy (nJ)")
+	for _, g := range []struct{ banks, entries int }{
+		{128, 1}, {64, 2}, {32, 4}, {16, 8},
+	} {
+		cfg := samielsq.PaperSAMIEConfig()
+		cfg.Banks, cfg.EntriesPerBank = g.banks, g.entries
+		res := experiments.Run(experiments.RunSpec{
+			Benchmark: bench, Insts: insts, Model: experiments.ModelSAMIE, SAMIE: &cfg,
+		})
+		t.AddRow(fmt.Sprintf("%dx%d", g.banks, g.entries),
+			res.CPU.IPC,
+			res.SAMIE.MeanSharedOcc(),
+			stats.Percent(res.SAMIE.ABEmptyFraction()),
+			1e6*float64(res.CPU.DeadlockFlushes)/float64(res.CPU.Cycles),
+			res.Meter.SAMIETotal()/1e3)
+	}
+	fmt.Println(t.String())
+
+	t2 := stats.NewTable("slots/entry", "IPC", "way-known accesses", "DTLB reuses", "Dcache energy (nJ)")
+	for _, slots := range []int{2, 4, 8, 16} {
+		cfg := samielsq.PaperSAMIEConfig()
+		cfg.SlotsPerEntry = slots
+		res := experiments.Run(experiments.RunSpec{
+			Benchmark: bench, Insts: insts, Model: experiments.ModelSAMIE, SAMIE: &cfg,
+		})
+		t2.AddRow(slots, res.CPU.IPC, res.SAMIE.WayKnownHits, res.SAMIE.TLBReuses,
+			res.Meter.Dcache/1e3)
+	}
+	fmt.Println(t2.String())
+}

@@ -1,0 +1,54 @@
+// lsqcompare runs a memory-pressure workload (the paper's motivating
+// scenario: a wide machine with a large instruction window) under all
+// four LSQ organizations — unbounded ideal, conventional 128-entry,
+// ARB 64x2, and SAMIE-LSQ — and prints an IPC/energy comparison,
+// reproducing the qualitative story of §2-§3: the ARB loses IPC when
+// heavily banked, while the SAMIE-LSQ keeps the banking's energy
+// benefit at almost no IPC cost.
+package main
+
+import (
+	"fmt"
+
+	"samielsq/internal/experiments"
+	"samielsq/internal/stats"
+)
+
+func main() {
+	const bench = "facerec" // high LSQ pressure, concentrated lines
+	const insts = 150_000
+
+	type row struct {
+		name string
+		spec experiments.RunSpec
+	}
+	rows := []row{
+		{"unbounded (ideal)", experiments.RunSpec{Benchmark: bench, Insts: insts, Model: experiments.ModelUnbounded}},
+		{"conventional 128", experiments.RunSpec{Benchmark: bench, Insts: insts, Model: experiments.ModelConventional}},
+		{"ARB 64x2", experiments.RunSpec{Benchmark: bench, Insts: insts, Model: experiments.ModelARB,
+			ARBBanks: 64, ARBAddrs: 2, ARBInflight: 128}},
+		{"SAMIE-LSQ (Table 3)", experiments.RunSpec{Benchmark: bench, Insts: insts, Model: experiments.ModelSAMIE}},
+	}
+
+	t := stats.NewTable("LSQ model", "IPC", "vs ideal", "LSQ energy (nJ)", "deadlocks")
+	var idealIPC float64
+	for i, r := range rows {
+		res := experiments.Run(r.spec)
+		if i == 0 {
+			idealIPC = res.CPU.IPC
+		}
+		var lsqE float64
+		switch r.spec.Model {
+		case experiments.ModelConventional:
+			lsqE = res.Meter.ConvLSQ / 1e3
+		case experiments.ModelSAMIE:
+			lsqE = res.Meter.SAMIETotal() / 1e3
+		}
+		rel := "-"
+		if idealIPC > 0 {
+			rel = stats.Percent(res.CPU.IPC / idealIPC)
+		}
+		t.AddRow(r.name, res.CPU.IPC, rel, lsqE, res.CPU.DeadlockFlushes)
+	}
+	fmt.Printf("LSQ organizations on %q (%d instructions)\n\n%s", bench, insts, t.String())
+}

@@ -1,0 +1,25 @@
+// Quickstart: compare the SAMIE-LSQ against the paper's conventional
+// 128-entry LSQ on one workload and print the headline numbers the
+// paper reports (IPC loss, LSQ/Dcache/DTLB energy savings).
+package main
+
+import (
+	"fmt"
+
+	"samielsq"
+)
+
+func main() {
+	res := samielsq.Compare("swim", 150_000)
+
+	fmt.Printf("benchmark: %s\n", res.Benchmark)
+	fmt.Printf("conventional LSQ: IPC %.3f\n", res.Conventional.IPC)
+	fmt.Printf("SAMIE-LSQ:        IPC %.3f (loss %.2f%%; paper average 0.6%%)\n",
+		res.SAMIE.IPC, res.IPCLossPct)
+	fmt.Printf("LSQ dynamic energy saving:    %.1f%% (paper average 82%%)\n", res.LSQSavingPct)
+	fmt.Printf("L1 Dcache energy saving:      %.1f%% (paper average 42%%)\n", res.DcacheSavingPct)
+	fmt.Printf("DTLB energy saving:           %.1f%% (paper average 73%%)\n", res.DTLBSavingPct)
+	fmt.Printf("deadlock-avoidance flushes:   %d\n", res.SAMIE.DeadlockFlushes)
+	fmt.Printf("way-known Dcache accesses:    %d\n", res.SAMIEDetail.WayKnownHits)
+	fmt.Printf("DTLB lookups avoided:         %d\n", res.SAMIEDetail.TLBReuses)
+}

@@ -1,0 +1,179 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounter2(t *testing.T) {
+	c := counter2(0)
+	if c.taken() {
+		t.Fatal("0 predicts taken")
+	}
+	c = c.update(true).update(true)
+	if !c.taken() {
+		t.Fatal("2 should predict taken")
+	}
+	c = c.update(true).update(true)
+	if c != 3 {
+		t.Fatalf("counter overflowed: %d", c)
+	}
+	c = c.update(false).update(false).update(false).update(false)
+	if c != 0 {
+		t.Fatalf("counter underflowed: %d", c)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size accepted")
+		}
+	}()
+	New(Config{BimodalEntries: 100, GshareEntries: 2048, SelectorEntries: 1024, BTBSets: 512, BTBWays: 4})
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := New(PaperConfig())
+	const pc = 0x120000040
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		pr := p.Predict(pc)
+		if p.Resolve(pc, pr, true, pc-64) {
+			wrong++
+		}
+	}
+	if wrong > 10 {
+		t.Fatalf("always-taken branch mispredicted %d/1000", wrong)
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// A period-4 pattern (TTTN) is learnable with global history; the
+	// hybrid must converge well below the 25% bimodal floor.
+	p := New(PaperConfig())
+	const pc = 0x120000080
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := i%4 != 3
+		pr := p.Predict(pc)
+		if p.Resolve(pc, pr, taken, pc-32) {
+			if i > n/2 {
+				wrong++
+			}
+		}
+	}
+	if rate := float64(wrong) / (n / 2); rate > 0.10 {
+		t.Fatalf("period-4 pattern mispredict rate %.3f after warmup", rate)
+	}
+}
+
+func TestBTBTargetLearning(t *testing.T) {
+	p := New(PaperConfig())
+	const pc, target = 0x120000100, 0x120000040
+	pr := p.Predict(pc)
+	if pr.Target != 0 {
+		t.Fatal("BTB hit before any insert")
+	}
+	p.Resolve(pc, pr, true, target)
+	pr = p.Predict(pc)
+	if pr.Target != target {
+		t.Fatalf("BTB target = %#x, want %#x", pr.Target, target)
+	}
+}
+
+func TestBTBTargetMispredictCounts(t *testing.T) {
+	p := New(PaperConfig())
+	const pc = 0x120000200
+	// Train direction taken, then change the target: even with correct
+	// direction the stale target is a misprediction.
+	pr := p.Predict(pc)
+	p.Resolve(pc, pr, true, 0x100)
+	for i := 0; i < 8; i++ {
+		pr = p.Predict(pc)
+		p.Resolve(pc, pr, true, 0x100)
+	}
+	pr = p.Predict(pc)
+	if !p.Resolve(pc, pr, true, 0x200) {
+		t.Fatal("target change not flagged as misprediction")
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.BTBSets = 1 // single set, 4 ways
+	p := New(cfg)
+	// Insert 5 branches into the 4-way set.
+	for i := 0; i < 5; i++ {
+		pc := uint64(0x1000 + i*4)
+		pr := p.Predict(pc)
+		p.Resolve(pc, pr, true, pc+0x100)
+	}
+	hits := 0
+	for i := 0; i < 5; i++ {
+		pc := uint64(0x1000 + i*4)
+		if p.Predict(pc).Target != 0 {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("single set holds %d targets, want 4 (LRU eviction)", hits)
+	}
+}
+
+func TestMispredictAccounting(t *testing.T) {
+	p := New(PaperConfig())
+	const pc = 0x120000300
+	pr := p.Predict(pc)
+	correct := pr.Taken
+	p.Resolve(pc, pr, !correct, 0)
+	if p.Mispredicts() != 1 {
+		t.Fatalf("mispredicts = %d, want 1", p.Mispredicts())
+	}
+	if p.Lookups() != 1 {
+		t.Fatalf("lookups = %d, want 1", p.Lookups())
+	}
+	if p.MispredictRate() != 1 {
+		t.Fatalf("rate = %v", p.MispredictRate())
+	}
+	p.ResetStats()
+	if p.Lookups() != 0 || p.Mispredicts() != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	if p.MispredictRate() != 0 {
+		t.Fatal("rate after reset should be 0")
+	}
+}
+
+func TestHybridBeatsRandomBaseline(t *testing.T) {
+	// Across a population of biased branches the hybrid predictor must
+	// achieve well under 50% mispredicts.
+	p := New(PaperConfig())
+	rng := rand.New(rand.NewSource(42))
+	type site struct {
+		pc     uint64
+		period int
+	}
+	sites := make([]site, 32)
+	for i := range sites {
+		sites[i] = site{pc: uint64(0x120000000 + i*4), period: 2 + rng.Intn(10)}
+	}
+	counts := make([]int, len(sites))
+	wrong, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		s := &sites[rng.Intn(len(sites))]
+		counts[s.pc%32]++
+		taken := counts[s.pc%32]%s.period != 0
+		pr := p.Predict(s.pc)
+		if p.Resolve(s.pc, pr, taken, s.pc-16) && i > 10000 {
+			wrong++
+		}
+		if i > 10000 {
+			total++
+		}
+	}
+	if rate := float64(wrong) / float64(total); rate > 0.35 {
+		t.Fatalf("steady-state mispredict rate %.3f too high", rate)
+	}
+}

@@ -1,0 +1,208 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small() Config {
+	return Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{
+		{Name: "bad", SizeBytes: 0, LineBytes: 32, Ways: 1},
+		{Name: "bad", SizeBytes: 1024, LineBytes: 33, Ways: 1},
+		{Name: "bad", SizeBytes: 1024, LineBytes: 32, Ways: 0},
+		{Name: "bad", SizeBytes: 96 * 32, LineBytes: 32, Ways: 1}, // 96 sets: not pow2
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+	for _, c := range []Config{PaperL1D(), PaperL1I(), PaperL2()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("paper config rejected: %v", err)
+		}
+	}
+	l1d := PaperL1D()
+	if l1d.Sets() != 64 {
+		t.Fatalf("paper L1D sets = %d, want 64", l1d.Sets())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(small())
+	r := c.Access(0x1000, false)
+	if r.Hit {
+		t.Fatal("cold access hit")
+	}
+	r2 := c.Access(0x1008, false) // same line
+	if !r2.Hit || r2.Set != r.Set || r2.Way != r.Way {
+		t.Fatalf("same-line access missed or moved: %+v vs %+v", r, r2)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(small()) // 16 sets, 2 ways
+	setStride := uint64(16 * 32)
+	a, b, d := uint64(0x10000), uint64(0x10000)+setStride, uint64(0x10000)+2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // touch a: b becomes LRU
+	r := c.Access(d, false)
+	if !r.Evicted || r.EvictedLine != b {
+		t.Fatalf("evicted %#x (evicted=%v), want %#x", r.EvictedLine, r.Evicted, b)
+	}
+	if _, _, hit := c.Probe(a); !hit {
+		t.Fatal("MRU line evicted")
+	}
+	if _, _, hit := c.Probe(b); hit {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestWritebackCounting(t *testing.T) {
+	c := New(small())
+	setStride := uint64(16 * 32)
+	c.Access(0x1000, true) // dirty
+	c.Access(0x1000+setStride, false)
+	c.Access(0x1000+2*setStride, false) // evicts dirty line
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks())
+	}
+}
+
+func TestDirectAccess(t *testing.T) {
+	c := New(small())
+	r := c.Access(0x2000, false)
+	if !c.DirectAccess(0x2008, r.Set, r.Way, false) {
+		t.Fatal("direct access to resident line failed")
+	}
+	if c.DirectAccess(0x2000, r.Set, (r.Way+1)%2, false) {
+		t.Fatal("direct access to wrong way succeeded")
+	}
+	if c.DirectAccess(0x9999000, r.Set, r.Way, false) {
+		t.Fatal("direct access to absent line succeeded")
+	}
+	if c.DirectAccess(0x2000, -1, 0, false) || c.DirectAccess(0x2000, 0, 99, false) {
+		t.Fatal("out-of-range location accepted")
+	}
+}
+
+func TestPresentBitProtocol(t *testing.T) {
+	c := New(small())
+	r := c.Access(0x3000, false)
+	if c.PresentBit(r.Set, r.Way) {
+		t.Fatal("presentBit set on fill")
+	}
+	c.SetPresentBit(r.Set, r.Way)
+	if !c.PresentBit(r.Set, r.Way) {
+		t.Fatal("SetPresentBit failed")
+	}
+	// Evicting this line must report EvictedHadPB.
+	setStride := uint64(16 * 32)
+	c.Access(0x3000+setStride, false)
+	r3 := c.Access(0x3000+2*setStride, false)
+	if !r3.Evicted || !r3.EvictedHadPB {
+		t.Fatalf("eviction of presentBit line not flagged: %+v", r3)
+	}
+	// ClearAllPresentBits wipes everything.
+	r4 := c.Access(0x4000, false)
+	c.SetPresentBit(r4.Set, r4.Way)
+	c.ClearAllPresentBits()
+	if c.PresentBit(r4.Set, r4.Way) {
+		t.Fatal("ClearAllPresentBits left a bit set")
+	}
+	// ClearPresentBit individual.
+	c.SetPresentBit(r4.Set, r4.Way)
+	c.ClearPresentBit(r4.Set, r4.Way)
+	if c.PresentBit(r4.Set, r4.Way) {
+		t.Fatal("ClearPresentBit failed")
+	}
+	// Out of range is a no-op.
+	c.SetPresentBit(-1, 0)
+	c.ClearPresentBit(0, 99)
+	if c.PresentBit(-1, 0) {
+		t.Fatal("out-of-range PresentBit true")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(small())
+	c.Access(0x5000, false)
+	if !c.Invalidate(0x5000) {
+		t.Fatal("invalidate missed resident line")
+	}
+	if _, _, hit := c.Probe(0x5000); hit {
+		t.Fatal("line survived invalidate")
+	}
+	if c.Invalidate(0x5000) {
+		t.Fatal("invalidate hit absent line")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(small())
+	c.Access(0x1000, false)
+	c.Access(0x1000, false)
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	// Contents preserved.
+	if _, _, hit := c.Probe(0x1000); !hit {
+		t.Fatal("ResetStats dropped cache contents")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(small())
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache miss rate != 0")
+	}
+	c.Access(0x1000, false)
+	c.Access(0x1000, false)
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", c.MissRate())
+	}
+}
+
+// TestAgainstReferenceModel cross-checks hit/miss behaviour against a
+// brute-force reference over a random access stream (property test).
+func TestAgainstReferenceModel(t *testing.T) {
+	cfg := Config{Name: "ref", SizeBytes: 2048, LineBytes: 32, Ways: 4, HitLatency: 1}
+	c := New(cfg)
+	sets := cfg.Sets()
+
+	// Reference: per set, an LRU-ordered list of line addresses.
+	ref := make([][]uint64, sets)
+	refAccess := func(addr uint64) bool {
+		line := addr &^ 31
+		set := int((line >> 5) % uint64(sets))
+		for i, l := range ref[set] {
+			if l == line {
+				ref[set] = append(append([]uint64{line}, ref[set][:i]...), ref[set][i+1:]...)
+				return true
+			}
+		}
+		ref[set] = append([]uint64{line}, ref[set]...)
+		if len(ref[set]) > cfg.Ways {
+			ref[set] = ref[set][:cfg.Ways]
+		}
+		return false
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(8192)) * 8
+		wantHit := refAccess(addr)
+		got := c.Access(addr, rng.Intn(2) == 0)
+		if got.Hit != wantHit {
+			t.Fatalf("access %d (%#x): got hit=%v, reference hit=%v", i, addr, got.Hit, wantHit)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package cacti provides the timing, energy and area model for
+// memory-like structures, in the spirit of CACTI 3.0 (Shivakumar &
+// Jouppi), which the paper uses at 0.10 µm.
+//
+// Two layers are exposed:
+//
+//  1. The published constants of the paper (Tables 1, 4, 5, 6 and the
+//     §3.6 delays), as the canonical calibrated parameter set. The
+//     energy accounting uses these so that the reproduced energy
+//     *ratios* (Figures 7–12) match the paper's methodology exactly.
+//
+//  2. An analytical RC model (model.go) for RAM and CAM arrays that
+//     reproduces the paper's *trends* — how delay, energy and area
+//     scale with entries, width, associativity and ports — and is used
+//     for Table 1 and the §3.6 delay analysis, plus the ablation
+//     benches on alternative SAMIE-LSQ geometries.
+package cacti
+
+// LSQEnergy is the per-activity energy of an LSQ-like structure, in
+// picojoules, following the schema of Tables 4 and 5.
+type LSQEnergy struct {
+	CmpBase     float64 // address comparison, fixed part
+	CmpPerAddr  float64 // address comparison, per address compared
+	RWAddr      float64 // read/write one address
+	AgeCmpBase  float64 // age-id comparison in one entry, fixed part
+	AgeCmpPerID float64 // age-id comparison, per age id compared
+	RWAge       float64 // read/write one age id
+	RWDatum     float64 // read/write one datum
+	RWTLB       float64 // read/write a cached TLB translation
+	RWLineID    float64 // read/write a cached cache-line id
+}
+
+// Table 4: 128-entry conventional fully-associative LSQ.
+var ConvLSQ = LSQEnergy{
+	CmpBase:    452,
+	CmpPerAddr: 3.53,
+	RWAddr:     57.1,
+	RWDatum:    93.2,
+}
+
+// Table 5: DistribLSQ (per bank: 2 entries x 8 slots).
+var DistribLSQ = LSQEnergy{
+	CmpBase:     4.33,
+	CmpPerAddr:  2.17,
+	RWAddr:      4.07,
+	AgeCmpBase:  19.4,
+	AgeCmpPerID: 1.21,
+	RWAge:       1.64,
+	RWDatum:     10.9,
+	RWTLB:       6.02,
+	RWLineID:    0.236,
+}
+
+// Table 5: SharedLSQ (8 entries x 8 slots, fully associative).
+var SharedLSQ = LSQEnergy{
+	CmpBase:     22.7,
+	CmpPerAddr:  2.83,
+	RWAddr:      6.16,
+	AgeCmpBase:  19.4,
+	AgeCmpPerID: 2.43,
+	RWAge:       1.64,
+	RWDatum:     10.9,
+	RWTLB:       8.73,
+	RWLineID:    0.342,
+}
+
+// Table 5: remaining SAMIE-LSQ activity energies (pJ).
+const (
+	BusSendAddr     = 54.4 // send an address to a DistribLSQ bank
+	AddrBufferDatum = 31.6 // read/write a datum in the AddrBuffer
+	AddrBufferAgeID = 15.7 // read/write an age id in the AddrBuffer
+)
+
+// §4.2: L1 Dcache and DTLB access energies (pJ) for the 8KB 4-way L1.
+const (
+	DcacheFullAccess = 1009 // conventional access: all ways + tag compare
+	DcacheWayKnown   = 276  // single way, no tag compare (§3.4)
+	DTLBAccess       = 273  // one DTLB lookup
+)
+
+// Table 6: cell areas in µm². The conventional LSQ and the AddrBuffer
+// use heavily ported cells; the banked structures use small cells.
+type CellAreas struct {
+	AddrCAM float64
+	AgeCAM  float64
+	Datum   float64
+	TLB     float64
+	LineID  float64
+}
+
+// Areas per structure, from Table 6.
+var (
+	ConvAreas       = CellAreas{AddrCAM: 28, Datum: 20}
+	DistribAreas    = CellAreas{AddrCAM: 10, AgeCAM: 10, Datum: 6, TLB: 6, LineID: 6}
+	SharedAreas     = CellAreas{AddrCAM: 10, AgeCAM: 10, Datum: 6, TLB: 6, LineID: 6}
+	AddrBufferAreas = CellAreas{Datum: 20, AgeCAM: 20} // Table 6 lists both as RAM cells
+)
+
+// §3.6: structure delays in ns at 0.10 µm.
+const (
+	DelayDistribBus     = 0.124 // send an address to a bank
+	DelayDistribCompare = 0.590 // compare line addresses within a bank
+	DelayDistribTotal   = 0.714
+	DelayShared         = 0.617
+	DelayAddrBuffer     = 0.319
+	DelayConv128        = 0.881 // 128-entry conventional LSQ
+)
+
+// Table1Row is one row of the paper's Table 1 (cache access times).
+type Table1Row struct {
+	SizeKB       int
+	Ways         int
+	Ports        int
+	Conventional float64 // ns
+	WayKnown     float64 // ns ("physical line known")
+}
+
+// PaperTable1 reproduces the published Table 1 values (32-byte lines).
+var PaperTable1 = []Table1Row{
+	{8, 2, 2, 0.865, 0.700},
+	{8, 2, 4, 1.014, 0.875},
+	{8, 4, 2, 1.008, 0.878},
+	{8, 4, 4, 1.307, 1.266},
+	{32, 2, 2, 1.195, 1.092},
+	{32, 2, 4, 1.551, 1.490},
+	{32, 4, 2, 1.194, 1.165},
+	{32, 4, 4, 1.693, 1.693},
+}

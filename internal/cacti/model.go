@@ -1,0 +1,211 @@
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the analytical RC model. It follows the
+// component decomposition of Wilton & Jouppi as used by CACTI 3.0 —
+// decoder, wordline, bitline, sense amplifier, tag comparator, way
+// multiplexer and output driver — with coefficients fitted at 0.10 µm
+// against the paper's published anchors (§3.6 delays and Table 1).
+//
+// The model is intentionally simple: each component delay is an affine
+// function of the relevant geometry (rows, columns, associativity) and
+// extra ports stretch wires, scaling the wire-dominated terms by a
+// port factor. CACTI's internal array partitioning is folded into the
+// coefficients.
+
+// Tech holds the technology-dependent coefficients (delays in ns,
+// energies in pJ, areas in µm²).
+type Tech struct {
+	FeatureUM float64 // feature size in µm
+
+	// Delay coefficients.
+	DecBase, DecPerLog2Row float64
+	WLPerBit               float64
+	BLPerRow, BLBase       float64
+	Sense                  float64
+	CmpBase, CmpPerBit     float64
+	MuxPerWay              float64
+	OutDrive               float64
+	PortWireFactor         float64 // per extra port wire-stretch factor
+
+	// Energy coefficients (per access).
+	EFixed, EPerRow, EPerBit float64
+
+	// Area coefficients (per cell, µm²).
+	RAMCell, CAMCell float64
+	PortAreaFactor   float64 // per extra port linear cell growth
+}
+
+// Tech100nm returns the coefficient set fitted at 0.10 µm against the
+// paper's anchors.
+func Tech100nm() Tech {
+	return Tech{
+		FeatureUM:      0.10,
+		DecBase:        0.060,
+		DecPerLog2Row:  0.011,
+		WLPerBit:       0.00020,
+		BLPerRow:       0.00070,
+		BLBase:         0.050,
+		Sense:          0.060,
+		CmpBase:        0.120,
+		CmpPerBit:      0.0120,
+		MuxPerWay:      0.050,
+		OutDrive:       0.080,
+		PortWireFactor: 0.70,
+		EFixed:         18.0,
+		EPerRow:        0.55,
+		EPerBit:        0.095,
+		RAMCell:        5.0,
+		CAMCell:        9.0,
+		PortAreaFactor: 0.45,
+	}
+}
+
+// Geometry describes one RAM or CAM array.
+type Geometry struct {
+	Rows  int // entries (sets for a cache)
+	Bits  int // bits per row actually read/compared
+	Assoc int // ways sharing the row (1 for plain arrays)
+	Ports int // read/write ports
+	CAM   bool
+}
+
+// Validate reports geometry errors.
+func (g *Geometry) Validate() error {
+	if g.Rows <= 0 || g.Bits <= 0 {
+		return fmt.Errorf("cacti: rows and bits must be positive (got %d, %d)", g.Rows, g.Bits)
+	}
+	if g.Assoc <= 0 {
+		return fmt.Errorf("cacti: assoc must be positive")
+	}
+	if g.Ports <= 0 {
+		return fmt.Errorf("cacti: ports must be positive")
+	}
+	return nil
+}
+
+func (t Tech) portFactor(ports int) float64 {
+	return 1 + t.PortWireFactor*float64(ports-1)
+}
+
+// AccessDelay returns the array access delay in ns: decode + wordline
+// + bitline + sense (+ match compare for CAMs) + output drive.
+func (t Tech) AccessDelay(g Geometry) float64 {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	pf := t.portFactor(g.Ports)
+	d := t.DecBase + t.DecPerLog2Row*math.Log2(float64(g.Rows)+1)
+	d += t.WLPerBit * float64(g.Bits) * pf
+	d += t.BLBase + t.BLPerRow*float64(g.Rows)*pf
+	d += t.Sense
+	if g.CAM {
+		d += t.CmpBase + t.CmpPerBit*float64(g.Bits)
+	}
+	d += t.OutDrive
+	return d
+}
+
+// AccessEnergy returns the dynamic energy of one access in pJ.
+func (t Tech) AccessEnergy(g Geometry) float64 {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	pf := t.portFactor(g.Ports)
+	e := t.EFixed + t.EPerRow*float64(g.Rows)*pf + t.EPerBit*float64(g.Bits)*pf
+	if g.CAM {
+		e *= 1.45 // match-line precharge overhead
+	}
+	return e * pf
+}
+
+// Area returns the array area in µm².
+func (t Tech) Area(g Geometry) float64 {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	cell := t.RAMCell
+	if g.CAM {
+		cell = t.CAMCell
+	}
+	lin := 1 + t.PortAreaFactor*float64(g.Ports-1)
+	return cell * lin * lin * float64(g.Rows) * float64(g.Bits)
+}
+
+// CacheDelay models a set-associative cache access (Table 1): the
+// conventional path is the slower of the data-array path (all ways
+// read) and the tag path (tag read + compare + way-select), plus the
+// output drive; the way-known path reads a single way with no tag
+// work.
+type CacheDelay struct {
+	Conventional float64
+	WayKnown     float64
+}
+
+// CacheAccess computes conventional and way-known access delays in ns
+// for a cache of the given total size, associativity, line size and
+// port count.
+func (t Tech) CacheAccess(sizeBytes, ways, lineBytes, ports int) CacheDelay {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 || ports <= 0 {
+		panic("cacti: cache parameters must be positive")
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets < 1 {
+		sets = 1
+	}
+	pf := t.portFactor(ports)
+	tagBits := 30 - int(math.Round(math.Log2(float64(sets*lineBytes))))
+	if tagBits < 8 {
+		tagBits = 8
+	}
+
+	dec := t.DecBase + t.DecPerLog2Row*math.Log2(float64(sets)+1)
+
+	// Data side: the ways are read from banked subarrays in parallel
+	// and the way-select multiplexer is driven in both access modes
+	// (the data of the chosen way must be routed out either way), so
+	// higher associativity slows the way-known access too, exactly as
+	// in the paper's Table 1.
+	convData := dec + t.WLPerBit*float64(lineBytes*8)*pf +
+		t.BLBase + t.BLPerRow*float64(sets)*pf + t.Sense +
+		t.MuxPerWay*float64(ways)
+
+	// Tag side: tags for all ways read and compared; the match result
+	// gates the output driver. The way-known access removes this path
+	// entirely, so the improvement is the tag path's overhang over the
+	// data path — which shrinks as ports and associativity grow the
+	// data path.
+	tagBitsAll := tagBits * ways
+	tagPath := dec + t.WLPerBit*float64(tagBitsAll)*pf +
+		t.BLBase + t.BLPerRow*float64(sets)*pf + t.Sense +
+		t.CmpBase + t.CmpPerBit*float64(tagBits)
+
+	conv := math.Max(convData, tagPath) + t.OutDrive
+	known := convData + t.OutDrive
+	if known > conv {
+		known = conv
+	}
+	return CacheDelay{Conventional: conv, WayKnown: known}
+}
+
+// LSQDelay models the paper's §3.6 structures with the analytical
+// model: a fully-associative CAM search over addrBits in an array of
+// `entries` rows.
+func (t Tech) LSQDelay(entries, addrBits, ports int) float64 {
+	return t.AccessDelay(Geometry{Rows: entries, Bits: addrBits, Assoc: 1, Ports: ports, CAM: true})
+}
+
+// BusDelay models the extra wire delay of broadcasting an address to
+// the banks of a structure whose total capacity matches `entries`
+// rows of `bits` (§3.6 charges SAMIE-LSQ the bus delay of a 128-entry
+// structure of the same total capacity).
+func (t Tech) BusDelay(entries, bits int) float64 {
+	// Wire delay grows with the perimeter of the laid-out array.
+	area := float64(entries*bits) * t.RAMCell
+	side := math.Sqrt(area)
+	return 0.010 + 0.00012*side
+}

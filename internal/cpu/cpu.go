@@ -1,0 +1,922 @@
+// Package cpu implements the cycle-level out-of-order superscalar
+// processor model used by the paper's evaluation: an enhanced
+// sim-outorder-style pipeline with a reorder buffer separate from the
+// issue queues, modeled structure ports, the Table 2 configuration by
+// default, and pluggable load/store-queue models (lsq.Model).
+//
+// The pipeline stages are fetch -> dispatch (decode/rename) -> issue ->
+// execute -> writeback -> commit. Memory disambiguation follows the
+// paper's conservative readyBit scheme (§3.1): a load performs its
+// access only when every older store's address is known; a store whose
+// address is computed sets the readyBits of younger instructions up to
+// the next unknown-address store.
+package cpu
+
+import (
+	"fmt"
+
+	"samielsq/internal/bpred"
+	"samielsq/internal/energy"
+	"samielsq/internal/isa"
+	"samielsq/internal/lsq"
+	"samielsq/internal/mem"
+	"samielsq/internal/tlb"
+)
+
+// Config is the processor configuration (Table 2).
+type Config struct {
+	FetchWidth  int
+	DecodeWidth int
+	IssueInt    int // INT issue width per cycle
+	IssueFP     int // FP issue width per cycle
+	CommitWidth int
+
+	FetchQueue int
+	ROBSize    int
+	IQInt      int
+	IQFP       int
+
+	IntALU    int // 1-cycle latency, pipelined
+	IntMulDiv int // mult 3 cycles pipelined; div 20 cycles non-pipelined
+	FPALU     int // 2 cycles, pipelined
+	FPMulDiv  int // mult 4 cycles pipelined; div 12 cycles non-pipelined
+
+	DcachePorts int
+
+	// MispredictPenalty is the front-end redirect/refill delay after a
+	// branch misprediction resolves (and after a deadlock flush).
+	MispredictPenalty int
+
+	// DeadlockPatience is how many consecutive cycles the ROB head may
+	// sit unplaced in the LSQ before the §3.3 deadlock-avoidance flush
+	// fires.
+	DeadlockPatience int
+}
+
+// PaperConfig returns the Table 2 configuration.
+func PaperConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		DecodeWidth:       8,
+		IssueInt:          8,
+		IssueFP:           8,
+		CommitWidth:       8,
+		FetchQueue:        64,
+		ROBSize:           256,
+		IQInt:             128,
+		IQFP:              128,
+		IntALU:            6,
+		IntMulDiv:         3,
+		FPALU:             4,
+		FPMulDiv:          2,
+		DcachePorts:       4,
+		MispredictPenalty: 8,
+		DeadlockPatience:  32,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	for _, v := range [...]struct {
+		n string
+		v int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"DecodeWidth", c.DecodeWidth},
+		{"IssueInt", c.IssueInt}, {"IssueFP", c.IssueFP},
+		{"CommitWidth", c.CommitWidth}, {"FetchQueue", c.FetchQueue},
+		{"ROBSize", c.ROBSize}, {"IQInt", c.IQInt}, {"IQFP", c.IQFP},
+		{"IntALU", c.IntALU}, {"IntMulDiv", c.IntMulDiv},
+		{"FPALU", c.FPALU}, {"FPMulDiv", c.FPMulDiv},
+		{"DcachePorts", c.DcachePorts},
+	} {
+		if v.v <= 0 {
+			return fmt.Errorf("cpu: %s must be positive", v.n)
+		}
+	}
+	if c.MispredictPenalty < 0 || c.DeadlockPatience < 0 {
+		return fmt.Errorf("cpu: penalties must be non-negative")
+	}
+	return nil
+}
+
+// Instruction latencies (Table 2).
+const (
+	latIntALU = 1
+	latIntMul = 3
+	latIntDiv = 20
+	latFPALU  = 2
+	latFPMul  = 4
+	latFPDiv  = 12
+	latAGEN   = 1 // address generation on an integer ALU
+	latFwd    = 1 // store-to-load forward
+)
+
+type instState uint8
+
+const (
+	stFetched instState = iota
+	stDispatched
+	stAGENDone // memory only: address computed, in LSQ placement flow
+	stIssued   // execution latency counting down
+	stDone     // result ready / access performed
+	stCommitted
+)
+
+// dynInst is one in-flight dynamic instruction.
+type dynInst struct {
+	in    isa.Inst
+	state instState
+
+	srcA, srcB *dynInst // producers still in flight at rename (nil = ready)
+	readyAt    uint64   // cycle the result becomes available (once issued)
+
+	pred       bpred.Prediction
+	mispredict bool
+	predMade   bool
+
+	// Memory state.
+	placed    bool
+	buffered  bool
+	performed bool
+}
+
+func (d *dynInst) isMem() bool { return d.in.Cls.IsMem() }
+
+func producerDone(p *dynInst, cycle uint64) bool {
+	return p == nil || (p.state >= stDone && p.readyAt <= cycle)
+}
+
+// srcsReady reports whether both producers have completed by cycle.
+func (d *dynInst) srcsReady(cycle uint64) bool {
+	return producerDone(d.srcA, cycle) && producerDone(d.srcB, cycle)
+}
+
+// agenReady reports whether the address operands are ready. For
+// stores only SrcA (the address register) gates address generation:
+// the data operand (SrcB) is needed only to complete, matching real
+// pipelines where the store address is computed independently of the
+// data. This is what lets the readyBit scheme make progress.
+func (d *dynInst) agenReady(cycle uint64) bool {
+	if d.in.Cls == isa.ClassStore {
+		return producerDone(d.srcA, cycle)
+	}
+	return d.srcsReady(cycle)
+}
+
+// dataReady reports whether a store's data operand is available.
+func (d *dynInst) dataReady(cycle uint64) bool {
+	return producerDone(d.srcB, cycle)
+}
+
+// fuPool models a pool of functional units that may be occupied for
+// multiple cycles (non-pipelined operations).
+type fuPool struct {
+	busyUntil []uint64
+}
+
+func newFUPool(n int) *fuPool { return &fuPool{busyUntil: make([]uint64, n)} }
+
+// acquire reserves a unit until cycle+occupancy; it returns false when
+// every unit is busy.
+func (p *fuPool) acquire(cycle uint64, occupancy int) bool {
+	for i := range p.busyUntil {
+		if p.busyUntil[i] <= cycle {
+			p.busyUntil[i] = cycle + uint64(occupancy)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *fuPool) reset() {
+	for i := range p.busyUntil {
+		p.busyUntil[i] = 0
+	}
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Cycles            uint64
+	Committed         uint64
+	IPC               float64
+	Loads, Stores     uint64
+	ForwardedLoads    uint64
+	BranchLookups     uint64
+	BranchMispredicts uint64
+	DeadlockFlushes   uint64
+	PlacementFailures uint64 // §3.3 scenario 2 flushes
+	L1DMissRate       float64
+	DTLBMissRate      float64
+	FetchStallCycles  uint64
+	DispatchStalls    uint64 // cycles dispatch blocked by ROB/IQ/LSQ
+
+	// Head-of-ROB stall classification (cycles where nothing
+	// committed, by the state of the head instruction).
+	HeadWaitIssue    uint64 // head not yet issued (sources or FU)
+	HeadWaitExec     uint64 // head executing (latency)
+	HeadLoadReadyBit uint64 // head load blocked by an older store address
+	HeadLoadNoPort   uint64 // head load blocked on a Dcache port
+	HeadLoadData     uint64 // head load access in flight
+	HeadStoreWait    uint64 // head store waiting (placement or data)
+	HeadUnplaced     uint64 // head memory op not placed in the LSQ
+
+	FetchStallBranch uint64 // fetch blocked by an unresolved mispredict
+	FetchStallOther  uint64 // fetch blocked by I-cache/ITLB/redirect delay
+}
+
+// CPU is one simulator instance. Construct with New and call Run once.
+type CPU struct {
+	cfg   Config
+	strm  isa.Stream
+	model lsq.Model
+	hier  *mem.Hierarchy
+	dtlb  *tlb.TLB
+	itlb  *tlb.TLB
+	bp    *bpred.Predictor
+	meter *energy.Meter
+
+	cycle   uint64
+	rob     []*dynInst
+	robMap  map[uint64]*dynInst
+	fetchQ  []*dynInst
+	replayQ []*dynInst // flushed instructions awaiting re-fetch
+	iqInt   int
+	iqFP    int
+
+	lastWriter [isa.NumLogicalRegs]*dynInst
+
+	intMulDiv *fuPool
+	fpMulDiv  *fuPool
+
+	unknownStores map[uint64]*dynInst
+	minUnknownSeq uint64 // cached; ^0 when none
+	minUnknownOK  bool
+
+	pendingAgens      int // memory AGENs issued, address not yet delivered
+	fetchBlockedUntil uint64
+	blockingBranch    *dynInst // mispredicted branch gating fetch
+	lastFetchLine     uint64
+
+	headBlocked int // consecutive cycles the ROB head sat unplaced
+
+	streamDone bool
+
+	res Result
+}
+
+// New wires a CPU together. Nil subsystems get paper defaults; meter
+// may be nil (a fresh meter is created).
+func New(cfg Config, strm isa.Stream, model lsq.Model, hier *mem.Hierarchy, dtlbU *tlb.TLB, bp *bpred.Predictor, meter *energy.Meter) *CPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if strm == nil {
+		panic("cpu: nil instruction stream")
+	}
+	if model == nil {
+		panic("cpu: nil LSQ model")
+	}
+	if hier == nil {
+		hier = mem.NewPaper()
+	}
+	if dtlbU == nil {
+		dtlbU = tlb.New(tlb.PaperDTLB())
+	}
+	if bp == nil {
+		bp = bpred.New(bpred.PaperConfig())
+	}
+	if meter == nil {
+		meter = energy.NewMeter()
+	}
+	return &CPU{
+		cfg:           cfg,
+		strm:          strm,
+		model:         model,
+		hier:          hier,
+		dtlb:          dtlbU,
+		itlb:          tlb.New(tlb.PaperITLB()),
+		bp:            bp,
+		meter:         meter,
+		intMulDiv:     newFUPool(cfg.IntMulDiv),
+		fpMulDiv:      newFUPool(cfg.FPMulDiv),
+		unknownStores: make(map[uint64]*dynInst),
+		robMap:        make(map[uint64]*dynInst),
+	}
+}
+
+// Meter returns the energy meter.
+func (c *CPU) Meter() *energy.Meter { return c.meter }
+
+// Cycle returns the current cycle (for tests).
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// RunWarm simulates warmInsts instructions to warm the caches, TLBs
+// and predictor (as the paper does before measuring), resets every
+// statistic, then simulates and reports measureInsts more.
+func (c *CPU) RunWarm(warmInsts, measureInsts uint64) Result {
+	if warmInsts > 0 {
+		c.Run(warmInsts)
+		c.res = Result{}
+		c.meter.Reset()
+		c.hier.ResetStats()
+		c.dtlb.ResetStats()
+		c.itlb.ResetStats()
+		c.bp.ResetStats()
+		c.model.ResetStats()
+	}
+	return c.Run(measureInsts)
+}
+
+// Run simulates until maxInsts instructions commit (or the stream
+// drains) and returns the result summary.
+func (c *CPU) Run(maxInsts uint64) Result {
+	// Safety valve: a bounded simulation must terminate even if a
+	// model bug wedges the pipeline.
+	startCycle := c.cycle
+	maxCycles := startCycle + maxInsts*40 + 1_000_000
+	for c.res.Committed < maxInsts && c.cycle < maxCycles {
+		if c.streamDone && len(c.rob) == 0 && len(c.fetchQ) == 0 && len(c.replayQ) == 0 {
+			break
+		}
+		c.step()
+	}
+	c.res.Cycles = c.cycle - startCycle
+	if c.res.Cycles > 0 {
+		c.res.IPC = float64(c.res.Committed) / float64(c.res.Cycles)
+	}
+	c.res.L1DMissRate = c.hier.L1D.MissRate()
+	c.res.DTLBMissRate = c.dtlb.MissRate()
+	return c.res
+}
+
+// step advances one cycle, running the stages in reverse order so that
+// same-cycle structural effects propagate like hardware.
+func (c *CPU) step() {
+	c.cycle++
+	dports := c.cfg.DcachePorts
+
+	c.commit(&dports)
+	if c.checkDeadlock() {
+		c.model.AccountCycle()
+		return
+	}
+	c.drainAddrBuffer()
+	c.writebackAndIssue(&dports)
+	c.dispatch()
+	c.fetch()
+	c.model.AccountCycle()
+}
+
+// ---- Commit ---------------------------------------------------------------
+
+func (c *CPU) commit(dports *int) {
+	n := 0
+	for n < c.cfg.CommitWidth && len(c.rob) > 0 {
+		d := c.rob[0]
+		if d.state < stDone || d.readyAt > c.cycle {
+			if n == 0 {
+				c.classifyHeadStall(d)
+			}
+			break
+		}
+		if d.isMem() && d.in.Cls == isa.ClassStore {
+			// Stores write the Dcache at commit and need a port.
+			if *dports <= 0 {
+				break
+			}
+			*dports--
+			c.performStoreCommit(d)
+		}
+		c.model.Commit(d.in.Seq)
+		d.state = stCommitted
+		delete(c.robMap, d.in.Seq)
+		c.rob = c.rob[1:]
+		c.res.Committed++
+		n++
+	}
+}
+
+// classifyHeadStall records why the ROB head could not commit this
+// cycle (profiling aid; no architectural effect).
+func (c *CPU) classifyHeadStall(d *dynInst) {
+	switch {
+	case d.state == stDispatched || d.state == stFetched:
+		c.res.HeadWaitIssue++
+	case d.state == stIssued:
+		c.res.HeadWaitExec++
+	case d.state == stAGENDone && !d.placed:
+		c.res.HeadUnplaced++
+	case d.state == stAGENDone && d.in.Cls == isa.ClassLoad && !d.performed:
+		if c.minUnknownStore() < d.in.Seq {
+			c.res.HeadLoadReadyBit++
+		} else {
+			c.res.HeadLoadNoPort++
+		}
+	case d.state == stAGENDone && d.in.Cls == isa.ClassStore:
+		c.res.HeadStoreWait++
+	case d.state == stDone && d.readyAt > c.cycle:
+		if d.in.Cls == isa.ClassLoad {
+			c.res.HeadLoadData++
+		} else {
+			c.res.HeadWaitExec++
+		}
+	}
+}
+
+// performStoreCommit runs the store's Dcache write, with the SAMIE
+// way/TLB shortcuts when available.
+func (c *CPU) performStoreCommit(d *dynInst) {
+	plan := c.model.Plan(d.in.Seq)
+	if plan.WayKnown {
+		c.meter.DcacheWayKnown()
+		if _, ok := c.hier.DataDirect(d.in.Addr, plan.Set, plan.Way, true); !ok {
+			// The presentBit protocol makes this unreachable; treat a
+			// violation loudly in development.
+			panic("cpu: way-known store access missed (presentBit protocol violated)")
+		}
+		if !plan.TLBCached {
+			c.meter.DTLBLookup()
+			c.dtlb.Lookup(d.in.Addr)
+		}
+		return
+	}
+	if !plan.TLBCached {
+		c.meter.DTLBLookup()
+		c.dtlb.Lookup(d.in.Addr)
+	}
+	c.meter.DcacheFull()
+	res := c.hier.Data(d.in.Addr, true)
+	c.handleEviction(res.L1.Evicted, res.L1.EvictedHadPB)
+	c.model.RecordAccess(d.in.Seq, res.L1.Set, res.L1.Way, tlb.VPN(d.in.Addr))
+	c.hier.L1D.SetPresentBit(res.L1.Set, res.L1.Way)
+}
+
+// handleEviction applies the §3.4 conservative presentBit
+// invalidation.
+func (c *CPU) handleEviction(evicted, hadPB bool) {
+	if evicted && hadPB {
+		c.model.ClearCachedLocations()
+		c.hier.L1D.ClearAllPresentBits()
+	}
+}
+
+// ---- Deadlock avoidance (§3.3) --------------------------------------------
+
+func (c *CPU) checkDeadlock() bool {
+	if len(c.rob) == 0 {
+		c.headBlocked = 0
+		return false
+	}
+	head := c.rob[0]
+	// The head is deadlocked if its address is computed but no LSQ
+	// structure can hold it, or if the address-computation gate itself
+	// is closed (AddrBuffer full) so its address can never be computed.
+	blocked := head.isMem() && !head.placed &&
+		(head.state == stAGENDone ||
+			(head.state == stDispatched && c.model.FreeCapacity() <= 0))
+	if blocked {
+		c.headBlocked++
+		if c.headBlocked >= c.cfg.DeadlockPatience {
+			c.res.DeadlockFlushes++
+			c.flushPipeline()
+			return true
+		}
+		return false
+	}
+	c.headBlocked = 0
+	return false
+}
+
+// flushPipeline resets every non-committed instruction and queues it
+// for re-fetch in program order (the oldest instruction re-enters
+// first, guaranteeing forward progress).
+func (c *CPU) flushPipeline() {
+	var all []*dynInst
+	all = append(all, c.rob...)
+	all = append(all, c.fetchQ...)
+	all = append(all, c.replayQ...)
+	for _, d := range all {
+		d.state = stFetched
+		d.placed = false
+		d.buffered = false
+		d.performed = false
+		d.predMade = false
+		d.mispredict = false
+		d.readyAt = 0
+	}
+	c.replayQ = all
+	c.rob = nil
+	c.robMap = make(map[uint64]*dynInst)
+	c.fetchQ = nil
+	c.iqInt, c.iqFP = 0, 0
+	for i := range c.lastWriter {
+		c.lastWriter[i] = nil
+	}
+	c.intMulDiv.reset()
+	c.fpMulDiv.reset()
+	c.unknownStores = make(map[uint64]*dynInst)
+	c.minUnknownOK = false
+	c.pendingAgens = 0
+	c.model.Flush()
+	c.blockingBranch = nil
+	c.fetchBlockedUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+	c.headBlocked = 0
+}
+
+// ---- LSQ buffer drain -------------------------------------------------------
+
+func (c *CPU) drainAddrBuffer() {
+	for _, seq := range c.model.Tick() {
+		if d := c.findROB(seq); d != nil {
+			d.placed = true
+			d.buffered = false
+		}
+	}
+}
+
+// findROB locates an in-flight instruction by sequence number.
+func (c *CPU) findROB(seq uint64) *dynInst { return c.robMap[seq] }
+
+// ---- Issue / execute / writeback -------------------------------------------
+
+// minUnknownStore returns the lowest sequence number among stores with
+// uncomputed addresses (^0 when none): the readyBit frontier.
+func (c *CPU) minUnknownStore() uint64 {
+	if c.minUnknownOK {
+		return c.minUnknownSeq
+	}
+	minSeq := ^uint64(0)
+	for seq := range c.unknownStores {
+		if seq < minSeq {
+			minSeq = seq
+		}
+	}
+	c.minUnknownSeq = minSeq
+	c.minUnknownOK = true
+	return minSeq
+}
+
+func (c *CPU) writebackAndIssue(dports *int) {
+	intIssued, fpIssued := 0, 0
+	aluUsed := 0
+
+	for _, d := range c.rob {
+		switch d.state {
+		case stIssued:
+			if d.readyAt <= c.cycle {
+				c.completeExec(d)
+			}
+		case stDispatched:
+			if d.isMem() {
+				if !d.agenReady(c.cycle) {
+					continue
+				}
+			} else if !d.srcsReady(c.cycle) {
+				continue
+			}
+			if d.in.Cls.IsFP() {
+				if fpIssued >= c.cfg.IssueFP {
+					continue
+				}
+				if c.issueFP(d) {
+					fpIssued++
+					c.iqFP--
+				}
+			} else {
+				if intIssued >= c.cfg.IssueInt {
+					continue
+				}
+				if c.issueInt(d, &aluUsed) {
+					intIssued++
+					c.iqInt--
+				}
+			}
+		case stAGENDone:
+			// Memory instructions waiting to perform their access.
+			if d.in.Cls == isa.ClassLoad {
+				c.tryPerformLoad(d, dports)
+			} else if d.placed && !d.performed && d.dataReady(c.cycle) {
+				// A placed store with its data available is complete:
+				// it will write the cache at commit.
+				d.performed = true
+				d.state = stDone
+				d.readyAt = c.cycle
+				c.model.NotePerformed(d.in.Seq)
+			}
+		}
+	}
+}
+
+// completeExec handles writeback for a finished instruction.
+func (c *CPU) completeExec(d *dynInst) {
+	if d.in.Cls == isa.ClassBranch {
+		miss := c.bp.Resolve(d.in.PC, d.pred, d.in.Taken, d.in.Target)
+		if miss {
+			c.res.BranchMispredicts++
+		}
+		if c.blockingBranch == d {
+			c.blockingBranch = nil
+			c.fetchBlockedUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+		}
+		d.state = stDone
+		return
+	}
+	if d.isMem() {
+		// AGEN finished: hand the address to the LSQ.
+		d.state = stAGENDone
+		if c.pendingAgens > 0 {
+			c.pendingAgens--
+		}
+		pl := c.model.AddressReady(d.in.Seq, d.in.Cls == isa.ClassLoad, d.in.Addr, d.in.Size)
+		if d.in.Cls == isa.ClassStore {
+			delete(c.unknownStores, d.in.Seq)
+			c.minUnknownOK = false
+		}
+		switch {
+		case pl.Placed:
+			d.placed = true
+		case pl.Buffered:
+			d.buffered = true
+		case pl.Failed:
+			// §3.3 scenario 2: nothing had room.
+			c.res.PlacementFailures++
+			c.res.DeadlockFlushes++
+			c.flushPipeline()
+		}
+		return
+	}
+	d.state = stDone
+}
+
+// issueInt starts an integer-side instruction (including AGEN for
+// memory operations). Returns false on a structural hazard.
+func (c *CPU) issueInt(d *dynInst, aluUsed *int) bool {
+	switch d.in.Cls {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassNop:
+		if *aluUsed >= c.cfg.IntALU {
+			return false
+		}
+		*aluUsed++
+		d.state = stIssued
+		d.readyAt = c.cycle + latIntALU
+	case isa.ClassLoad, isa.ClassStore:
+		if *aluUsed >= c.cfg.IntALU {
+			return false
+		}
+		// §3.3 alternative rule: never start an address computation
+		// that is not guaranteed a landing slot.
+		if c.pendingAgens >= c.model.FreeCapacity() {
+			return false
+		}
+		c.pendingAgens++
+		*aluUsed++
+		d.state = stIssued
+		d.readyAt = c.cycle + latAGEN
+	case isa.ClassIntMul:
+		if !c.intMulDiv.acquire(c.cycle, 1) {
+			return false
+		}
+		d.state = stIssued
+		d.readyAt = c.cycle + latIntMul
+	case isa.ClassIntDiv:
+		if !c.intMulDiv.acquire(c.cycle, latIntDiv) {
+			return false
+		}
+		d.state = stIssued
+		d.readyAt = c.cycle + latIntDiv
+	default:
+		d.state = stIssued
+		d.readyAt = c.cycle + 1
+	}
+	return true
+}
+
+// issueFP starts an FP instruction.
+func (c *CPU) issueFP(d *dynInst) bool {
+	switch d.in.Cls {
+	case isa.ClassFPALU:
+		// FPALU pool is pipelined; modeled as an issue-width-limited
+		// pool per cycle.
+		d.state = stIssued
+		d.readyAt = c.cycle + latFPALU
+	case isa.ClassFPMul:
+		if !c.fpMulDiv.acquire(c.cycle, 1) {
+			return false
+		}
+		d.state = stIssued
+		d.readyAt = c.cycle + latFPMul
+	case isa.ClassFPDiv:
+		if !c.fpMulDiv.acquire(c.cycle, latFPDiv) {
+			return false
+		}
+		d.state = stIssued
+		d.readyAt = c.cycle + latFPDiv
+	default:
+		d.state = stIssued
+		d.readyAt = c.cycle + 1
+	}
+	return true
+}
+
+// tryPerformLoad attempts the memory access of a load whose address is
+// known: it must be placed in the LSQ, its readyBit must be set (no
+// older store with an unknown address) and a Dcache port must be free
+// unless the data is forwarded.
+func (c *CPU) tryPerformLoad(d *dynInst, dports *int) {
+	if d.performed || !d.placed {
+		return
+	}
+	if c.minUnknownStore() < d.in.Seq {
+		return // readyBit clear: an older store address is unknown
+	}
+	if src, ok := c.model.ForwardingSource(d.in.Seq); ok {
+		// Forward once the store's data is available.
+		if st := c.findROB(src); st != nil && !st.performed {
+			return
+		}
+		d.performed = true
+		d.state = stDone
+		d.readyAt = c.cycle + latFwd
+		c.res.ForwardedLoads++
+		c.model.NotePerformed(d.in.Seq)
+		return
+	}
+	if *dports <= 0 {
+		return
+	}
+	*dports--
+	d.performed = true
+	c.model.NotePerformed(d.in.Seq)
+
+	plan := c.model.Plan(d.in.Seq)
+	var lat int
+	if plan.WayKnown {
+		c.meter.DcacheWayKnown()
+		l, ok := c.hier.DataDirect(d.in.Addr, plan.Set, plan.Way, false)
+		if !ok {
+			panic("cpu: way-known load access missed (presentBit protocol violated)")
+		}
+		lat = l - plan.LatencyBonus
+		if lat < 1 {
+			lat = 1
+		}
+		if !plan.TLBCached {
+			c.meter.DTLBLookup()
+			if hit, tl := c.dtlb.Lookup(d.in.Addr); !hit {
+				lat += tl
+			}
+		}
+	} else {
+		var tlbLat int
+		if !plan.TLBCached {
+			c.meter.DTLBLookup()
+			if hit, tl := c.dtlb.Lookup(d.in.Addr); !hit {
+				tlbLat = tl
+			}
+		}
+		c.meter.DcacheFull()
+		res := c.hier.Data(d.in.Addr, false)
+		c.handleEviction(res.L1.Evicted, res.L1.EvictedHadPB)
+		c.model.RecordAccess(d.in.Seq, res.L1.Set, res.L1.Way, tlb.VPN(d.in.Addr))
+		c.hier.L1D.SetPresentBit(res.L1.Set, res.L1.Way)
+		lat = res.Latency + tlbLat
+	}
+	d.state = stDone
+	d.readyAt = c.cycle + uint64(lat)
+}
+
+// ---- Dispatch ----------------------------------------------------------------
+
+func (c *CPU) dispatch() {
+	n := 0
+	stalled := false
+	for n < c.cfg.DecodeWidth && len(c.fetchQ) > 0 {
+		d := c.fetchQ[0]
+		if len(c.rob) >= c.cfg.ROBSize {
+			stalled = true
+			break
+		}
+		if d.in.Cls.IsFP() {
+			if c.iqFP >= c.cfg.IQFP {
+				stalled = true
+				break
+			}
+		} else if c.iqInt >= c.cfg.IQInt {
+			stalled = true
+			break
+		}
+		if d.isMem() && !c.model.Dispatch(d.in.Seq, d.in.Cls == isa.ClassLoad) {
+			stalled = true
+			break
+		}
+		// Rename: bind producers.
+		d.srcA, d.srcB = nil, nil
+		if d.in.SrcA != isa.RegNone {
+			d.srcA = c.lastWriter[d.in.SrcA]
+		}
+		if d.in.SrcB != isa.RegNone {
+			d.srcB = c.lastWriter[d.in.SrcB]
+		}
+		if d.in.Dest != isa.RegNone {
+			c.lastWriter[d.in.Dest] = d
+		}
+		if d.in.Cls == isa.ClassStore {
+			c.unknownStores[d.in.Seq] = d
+			c.minUnknownOK = false
+		}
+		if d.in.Cls == isa.ClassLoad {
+			c.res.Loads++
+		} else if d.in.Cls == isa.ClassStore {
+			c.res.Stores++
+		}
+		d.state = stDispatched
+		if d.in.Cls.IsFP() {
+			c.iqFP++
+		} else {
+			c.iqInt++
+		}
+		c.rob = append(c.rob, d)
+		c.robMap[d.in.Seq] = d
+		c.fetchQ = c.fetchQ[1:]
+		n++
+	}
+	if stalled {
+		c.res.DispatchStalls++
+	}
+}
+
+// ---- Fetch --------------------------------------------------------------------
+
+func (c *CPU) fetch() {
+	if c.cycle < c.fetchBlockedUntil || c.blockingBranch != nil {
+		c.res.FetchStallCycles++
+		if c.blockingBranch != nil {
+			c.res.FetchStallBranch++
+		} else {
+			c.res.FetchStallOther++
+		}
+		return
+	}
+	n := 0
+	for n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue {
+		d := c.nextInst()
+		if d == nil {
+			return
+		}
+		// Instruction cache: one lookup per new line.
+		lineAddr := d.in.PC &^ 31
+		if lineAddr != c.lastFetchLine {
+			c.lastFetchLine = lineAddr
+			if hit, _ := c.itlb.Lookup(d.in.PC); !hit {
+				c.fetchBlockedUntil = c.cycle + uint64(c.itlb.Config().MissPenalty)
+			}
+			if lat := c.hier.Inst(d.in.PC); lat > c.hier.L1I.Config().HitLatency {
+				c.fetchBlockedUntil = c.cycle + uint64(lat)
+				c.fetchQ = append(c.fetchQ, d)
+				return
+			}
+		}
+		if d.in.Cls == isa.ClassBranch {
+			d.pred = c.bp.Predict(d.in.PC)
+			d.predMade = true
+			c.res.BranchLookups++
+			wrongDir := d.pred.Taken != d.in.Taken
+			wrongTgt := d.in.Taken && (d.pred.Target == 0 || d.pred.Target != d.in.Target)
+			d.mispredict = wrongDir || wrongTgt
+			c.fetchQ = append(c.fetchQ, d)
+			n++
+			if d.mispredict {
+				// Fetch chases the wrong path until the branch resolves.
+				c.blockingBranch = d
+				return
+			}
+			if d.pred.Taken {
+				// A correctly predicted taken branch ends the fetch
+				// group.
+				return
+			}
+			continue
+		}
+		c.fetchQ = append(c.fetchQ, d)
+		n++
+	}
+}
+
+// nextInst pulls the next instruction, preferring flushed instructions
+// awaiting replay.
+func (c *CPU) nextInst() *dynInst {
+	if len(c.replayQ) > 0 {
+		d := c.replayQ[0]
+		c.replayQ = c.replayQ[1:]
+		return d
+	}
+	if c.streamDone {
+		return nil
+	}
+	var in isa.Inst
+	if !c.strm.Next(&in) {
+		c.streamDone = true
+		return nil
+	}
+	return &dynInst{in: in}
+}

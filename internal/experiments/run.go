@@ -1,0 +1,146 @@
+// Package experiments contains one harness per table and figure of
+// the paper's evaluation (see DESIGN.md §3 for the index). Each
+// harness runs the necessary simulations and returns a result struct
+// that renders to the same rows/series the paper reports.
+//
+// Simulation length is configurable: the paper simulates 100M
+// instructions per benchmark after warm-up; these harnesses default to
+// a smaller, deterministic sample that preserves the qualitative
+// shape, and accept larger counts for higher-fidelity runs.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"samielsq/internal/core"
+	"samielsq/internal/cpu"
+	"samielsq/internal/energy"
+	"samielsq/internal/lsq"
+	"samielsq/internal/mem"
+	"samielsq/internal/tlb"
+	"samielsq/internal/trace"
+)
+
+// DefaultInsts is the default per-benchmark instruction budget for the
+// experiment harnesses.
+const DefaultInsts = 300_000
+
+// ModelKind selects the LSQ organization for a run.
+type ModelKind int
+
+// Supported LSQ organizations.
+const (
+	ModelConventional ModelKind = iota
+	ModelUnbounded
+	ModelARB
+	ModelSAMIE
+)
+
+// RunSpec describes one simulation.
+type RunSpec struct {
+	Benchmark string
+	Insts     uint64
+	Warmup    uint64 // warm-up instructions before measurement; default Insts/2
+	Model     ModelKind
+
+	// Conventional.
+	ConvEntries int // default 128
+
+	// ARB geometry.
+	ARBBanks, ARBAddrs, ARBInflight int
+
+	// SAMIE configuration; zero value means core.PaperConfig().
+	SAMIE *core.Config
+
+	// CPU overrides; zero value means cpu.PaperConfig().
+	CPU *cpu.Config
+}
+
+// RunResult bundles everything a harness needs from one simulation.
+type RunResult struct {
+	Spec  RunSpec
+	CPU   cpu.Result
+	Meter *energy.Meter
+	Hier  *mem.Hierarchy
+	SAMIE core.Stats         // populated for ModelSAMIE
+	Conv  lsq.OccupancyStats // populated for ModelConventional
+}
+
+// Run executes one simulation per the spec.
+func Run(spec RunSpec) RunResult {
+	if spec.Insts == 0 {
+		spec.Insts = DefaultInsts
+	}
+	if spec.Warmup == 0 {
+		spec.Warmup = spec.Insts / 2
+	}
+	p := trace.MustPersonality(spec.Benchmark)
+	meter := energy.NewMeter()
+
+	var model lsq.Model
+	var samie *core.SAMIE
+	var conv *lsq.Conventional
+	switch spec.Model {
+	case ModelConventional:
+		entries := spec.ConvEntries
+		if entries == 0 {
+			entries = 128
+		}
+		conv = lsq.NewConventional(entries, meter)
+		model = conv
+	case ModelUnbounded:
+		model = lsq.NewUnbounded()
+	case ModelARB:
+		model = lsq.NewARB(spec.ARBBanks, spec.ARBAddrs, spec.ARBInflight)
+	case ModelSAMIE:
+		cfg := core.PaperConfig()
+		if spec.SAMIE != nil {
+			cfg = *spec.SAMIE
+		}
+		samie = core.New(cfg, meter)
+		model = samie
+	default:
+		panic("experiments: unknown model kind")
+	}
+
+	ccfg := cpu.PaperConfig()
+	if spec.CPU != nil {
+		ccfg = *spec.CPU
+	}
+	hier := mem.NewPaper()
+	c := cpu.New(ccfg, trace.NewGenerator(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
+	res := RunResult{Spec: spec, Meter: meter}
+	res.CPU = c.RunWarm(spec.Warmup, spec.Insts)
+	res.Hier = hier
+	if samie != nil {
+		res.SAMIE = samie.Stats()
+	}
+	if conv != nil {
+		res.Conv = conv.Occupancy()
+	}
+	return res
+}
+
+// RunAll executes one simulation per benchmark in parallel (results
+// are deterministic per benchmark; parallelism only reorders wall
+// time). build constructs the spec for each benchmark name.
+func RunAll(benchmarks []string, build func(bench string) RunSpec) []RunResult {
+	out := make([]RunResult, len(benchmarks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, b := range benchmarks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, b string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = Run(build(b))
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+// Benchmarks returns the benchmark list (re-exported for cmd tools).
+func Benchmarks() []string { return trace.Benchmarks() }

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestSmokeStack runs the full stack (trace -> CPU -> LSQ models ->
+// energy) on a few representative benchmarks and checks coarse sanity
+// invariants; detailed behaviour is covered by the per-package tests
+// and the figure tests.
+func TestSmokeStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack smoke test")
+	}
+	for _, bench := range []string{"gzip", "ammp", "swim", "mcf", "facerec"} {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			conv := Run(RunSpec{Benchmark: bench, Model: ModelConventional, Insts: 60_000})
+			samie := Run(RunSpec{Benchmark: bench, Model: ModelSAMIE, Insts: 60_000})
+
+			if conv.CPU.Committed < 60_000 {
+				t.Fatalf("conventional committed %d < requested", conv.CPU.Committed)
+			}
+			if samie.CPU.Committed < 60_000 {
+				t.Fatalf("samie committed %d < requested", samie.CPU.Committed)
+			}
+			if conv.CPU.IPC <= 0.1 || conv.CPU.IPC > 8 {
+				t.Errorf("conventional IPC %.3f out of sane range", conv.CPU.IPC)
+			}
+			loss := (conv.CPU.IPC - samie.CPU.IPC) / conv.CPU.IPC
+			if loss > 0.30 {
+				t.Errorf("SAMIE IPC loss %.1f%% too large (conv %.3f, samie %.3f)",
+					loss*100, conv.CPU.IPC, samie.CPU.IPC)
+			}
+			if samie.Meter.SAMIETotal() <= 0 {
+				t.Error("SAMIE consumed no LSQ energy")
+			}
+			// §4.4: "the SAMIE-LSQ is much more energy-efficient than
+			// the conventional LSQ for all but one program" — the
+			// exception is ammp, whose SharedLSQ/AddrBuffer traffic
+			// dominates; the reproduction shows the same exception.
+			if bench != "ammp" && conv.Meter.ConvLSQ <= samie.Meter.SAMIETotal() {
+				t.Errorf("expected conventional LSQ energy (%.3g) > SAMIE (%.3g)",
+					conv.Meter.ConvLSQ, samie.Meter.SAMIETotal())
+			}
+			if samie.Meter.Dcache >= conv.Meter.Dcache {
+				t.Errorf("expected SAMIE Dcache energy (%.3g) < conventional (%.3g)",
+					samie.Meter.Dcache, conv.Meter.Dcache)
+			}
+			if samie.Meter.DTLB >= conv.Meter.DTLB {
+				t.Errorf("expected SAMIE DTLB energy (%.3g) < conventional (%.3g)",
+					samie.Meter.DTLB, conv.Meter.DTLB)
+			}
+			t.Logf("%s: conv IPC=%.3f samie IPC=%.3f (loss %.2f%%), deadlocks=%d, "+
+				"LSQ energy %.3g -> %.3g, Dcache %.3g -> %.3g, DTLB %.3g -> %.3g",
+				bench, conv.CPU.IPC, samie.CPU.IPC, loss*100, samie.CPU.DeadlockFlushes,
+				conv.Meter.ConvLSQ, samie.Meter.SAMIETotal(),
+				conv.Meter.Dcache, samie.Meter.Dcache,
+				conv.Meter.DTLB, samie.Meter.DTLB)
+		})
+	}
+}

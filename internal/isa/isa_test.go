@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassPredicates(t *testing.T) {
+	mem := map[Class]bool{ClassLoad: true, ClassStore: true}
+	fp := map[Class]bool{ClassFPALU: true, ClassFPMul: true, ClassFPDiv: true}
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if c.IsMem() != mem[c] {
+			t.Errorf("%v.IsMem() = %v", c, c.IsMem())
+		}
+		if c.IsFP() != fp[c] {
+			t.Errorf("%v.IsFP() = %v", c, c.IsFP())
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name: %q", c, s)
+		}
+	}
+	if s := Class(200).String(); !strings.HasPrefix(s, "class(") {
+		t.Errorf("invalid class string = %q", s)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	in := Inst{Addr: 0x1234}
+	if got := in.LineAddr(32); got != 0x1220 {
+		t.Fatalf("LineAddr = %#x, want 0x1220", got)
+	}
+	if got := in.LineAddr(64); got != 0x1200 {
+		t.Fatalf("LineAddr(64) = %#x, want 0x1200", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Inst{Cls: ClassLoad, Addr: 0x1000, Size: 4, Dest: 1, SrcA: 2, SrcB: RegNone}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid inst rejected: %v", err)
+	}
+	cases := []Inst{
+		{Cls: Class(100)},                            // bad class
+		{Cls: ClassLoad, Addr: 0x1000, Size: 3},      // bad size
+		{Cls: ClassStore, Addr: 0, Size: 4},          // zero address
+		{Cls: ClassIntALU, Dest: 127, SrcA: RegNone}, // bad register
+		{Cls: ClassIntALU, Dest: RegNone, SrcA: -2},  // bad register
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid inst accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	insts := []Inst{
+		{Seq: 99, Cls: ClassIntALU},
+		{Seq: 7, Cls: ClassLoad, Addr: 0x1000, Size: 4},
+	}
+	s := NewSliceStream(insts)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var out Inst
+	if !s.Next(&out) || out.Seq != 0 || out.Cls != ClassIntALU {
+		t.Fatalf("first = %+v", out)
+	}
+	if !s.Next(&out) || out.Seq != 1 || out.Cls != ClassLoad {
+		t.Fatalf("second = %+v", out)
+	}
+	if s.Next(&out) {
+		t.Fatal("stream should be exhausted")
+	}
+	s.Reset()
+	if !s.Next(&out) || out.Seq != 0 {
+		t.Fatal("reset failed")
+	}
+	// The constructor must not alias the caller's slice.
+	insts[0].Cls = ClassStore
+	s.Reset()
+	s.Next(&out)
+	if out.Cls != ClassIntALU {
+		t.Fatal("SliceStream aliases caller slice")
+	}
+}

@@ -1,0 +1,248 @@
+package lsq
+
+import (
+	"samielsq/internal/energy"
+)
+
+// Conventional is the baseline LSQ of §4.2: a fully-associative
+// structure of Entries entries allocated in program order at dispatch.
+// For a fair energy comparison (as the paper assumes), a load address
+// is compared only against the addresses of older stores whose address
+// is known, and a store address only against younger loads with known
+// addresses. Matching loads are forwarded from the store and skip the
+// Dcache.
+type Conventional struct {
+	entries int
+	t       *Tracker
+	meter   *energy.Meter
+
+	occupancy     OccupancyStats
+	dispatchFails uint64
+}
+
+// OccupancyStats accumulates per-cycle occupancy for reporting.
+type OccupancyStats struct {
+	Cycles uint64
+	SumOcc float64
+	MaxOcc int
+}
+
+// Observe records one cycle at occupancy n.
+func (o *OccupancyStats) Observe(n int) {
+	o.Cycles++
+	o.SumOcc += float64(n)
+	if n > o.MaxOcc {
+		o.MaxOcc = n
+	}
+}
+
+// Mean returns the average occupancy.
+func (o *OccupancyStats) Mean() float64 {
+	if o.Cycles == 0 {
+		return 0
+	}
+	return o.SumOcc / float64(o.Cycles)
+}
+
+// NewConventional builds the baseline with the given capacity
+// (the paper uses 128) charging energy to meter. meter may be nil.
+func NewConventional(entries int, meter *energy.Meter) *Conventional {
+	if entries <= 0 {
+		panic("lsq: conventional LSQ needs positive capacity")
+	}
+	if meter == nil {
+		meter = energy.NewMeter()
+	}
+	return &Conventional{entries: entries, t: NewTracker(), meter: meter}
+}
+
+// Name implements Model.
+func (c *Conventional) Name() string { return "conventional" }
+
+// Entries returns the configured capacity.
+func (c *Conventional) Entries() int { return c.entries }
+
+// Dispatch implements Model; it fails when the queue is full.
+func (c *Conventional) Dispatch(seq uint64, isLoad bool) bool {
+	if c.t.Len() >= c.entries {
+		c.dispatchFails++
+		return false
+	}
+	op := c.t.Add(seq, isLoad)
+	op.Placed = true // entry allocated at dispatch
+	return true
+}
+
+// AddressReady implements Model: the computed address is written into
+// the entry and compared associatively per the §4.2 policy.
+func (c *Conventional) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Placement {
+	op := c.t.Get(seq)
+	if op == nil {
+		return Placement{Failed: true}
+	}
+	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	c.meter.ConvRWAddr()
+	if isLoad {
+		c.meter.ConvCompare(c.t.CountOlderKnownStores(seq))
+	} else {
+		c.meter.ConvCompare(c.t.CountYoungerKnownLoads(seq))
+		// Store data is written into the entry when available; we
+		// charge it here (data ready at issue in this model).
+		c.meter.ConvRWDatum()
+	}
+	return Placement{Placed: true}
+}
+
+// Tick implements Model (no buffering in the conventional LSQ).
+func (c *Conventional) Tick() []uint64 { return nil }
+
+// Placed implements Model.
+func (c *Conventional) Placed(seq uint64) bool {
+	op := c.t.Get(seq)
+	return op != nil && op.Placed
+}
+
+// ForwardingSource implements Model.
+func (c *Conventional) ForwardingSource(seq uint64) (uint64, bool) {
+	s, ok := c.t.ForwardingSource(seq)
+	if ok {
+		// Forwarded loads read the store datum and write their own.
+		c.meter.ConvRWDatum()
+		c.meter.ConvRWDatum()
+	}
+	return s, ok
+}
+
+// Plan implements Model; the conventional LSQ never caches locations.
+func (c *Conventional) Plan(seq uint64) AccessPlan { return AccessPlan{} }
+
+// RecordAccess implements Model (no-op).
+func (c *Conventional) RecordAccess(seq uint64, set, way int, vpn uint64) {}
+
+// NotePerformed implements Model.
+func (c *Conventional) NotePerformed(seq uint64) {
+	if op := c.t.Get(seq); op != nil {
+		op.Performed = true
+		if op.IsLoad {
+			// The loaded datum is written into the entry.
+			c.meter.ConvRWDatum()
+		}
+	}
+}
+
+// ClearCachedLocations implements Model (no-op).
+func (c *Conventional) ClearCachedLocations() {}
+
+// Commit implements Model.
+func (c *Conventional) Commit(seq uint64) {
+	op := c.t.Remove(seq)
+	if op != nil && !op.IsLoad {
+		// The store datum is read out to be written to memory.
+		c.meter.ConvRWDatum()
+	}
+}
+
+// Flush implements Model.
+func (c *Conventional) Flush() { c.t.Clear() }
+
+// AccountCycle implements Model: occupancy and §4.5 active area
+// (in-use entries plus four pre-allocated).
+func (c *Conventional) AccountCycle() {
+	n := c.t.Len()
+	c.occupancy.Observe(n)
+	c.meter.AccumulateConvArea(n, c.entries)
+}
+
+// InFlight implements Model.
+func (c *Conventional) InFlight() int { return c.t.Len() }
+
+// FreeCapacity implements Model: entries are pre-allocated at
+// dispatch, so a computed address always has a home.
+func (c *Conventional) FreeCapacity() int { return int(^uint(0) >> 1) }
+
+// ResetStats implements Model.
+func (c *Conventional) ResetStats() {
+	c.occupancy = OccupancyStats{}
+	c.dispatchFails = 0
+}
+
+// Occupancy returns the accumulated occupancy statistics.
+func (c *Conventional) Occupancy() OccupancyStats { return c.occupancy }
+
+// DispatchFails returns how many dispatch attempts were rejected.
+func (c *Conventional) DispatchFails() uint64 { return c.dispatchFails }
+
+// Unbounded is an idealized LSQ with no capacity limit, used as the
+// reference for Figure 1. It performs the same forwarding as the
+// conventional model but never stalls dispatch and charges no energy.
+type Unbounded struct {
+	t *Tracker
+}
+
+// NewUnbounded builds the ideal LSQ.
+func NewUnbounded() *Unbounded { return &Unbounded{t: NewTracker()} }
+
+// Name implements Model.
+func (u *Unbounded) Name() string { return "unbounded" }
+
+// Dispatch implements Model.
+func (u *Unbounded) Dispatch(seq uint64, isLoad bool) bool {
+	op := u.t.Add(seq, isLoad)
+	op.Placed = true
+	return true
+}
+
+// AddressReady implements Model.
+func (u *Unbounded) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Placement {
+	op := u.t.Get(seq)
+	if op == nil {
+		return Placement{Failed: true}
+	}
+	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	return Placement{Placed: true}
+}
+
+// Tick implements Model.
+func (u *Unbounded) Tick() []uint64 { return nil }
+
+// Placed implements Model.
+func (u *Unbounded) Placed(seq uint64) bool { return u.t.Get(seq) != nil }
+
+// ForwardingSource implements Model.
+func (u *Unbounded) ForwardingSource(seq uint64) (uint64, bool) {
+	return u.t.ForwardingSource(seq)
+}
+
+// Plan implements Model.
+func (u *Unbounded) Plan(seq uint64) AccessPlan { return AccessPlan{} }
+
+// RecordAccess implements Model (no-op).
+func (u *Unbounded) RecordAccess(seq uint64, set, way int, vpn uint64) {}
+
+// NotePerformed implements Model.
+func (u *Unbounded) NotePerformed(seq uint64) {
+	if op := u.t.Get(seq); op != nil {
+		op.Performed = true
+	}
+}
+
+// ClearCachedLocations implements Model (no-op).
+func (u *Unbounded) ClearCachedLocations() {}
+
+// Commit implements Model.
+func (u *Unbounded) Commit(seq uint64) { u.t.Remove(seq) }
+
+// Flush implements Model.
+func (u *Unbounded) Flush() { u.t.Clear() }
+
+// AccountCycle implements Model (no-op).
+func (u *Unbounded) AccountCycle() {}
+
+// InFlight implements Model.
+func (u *Unbounded) InFlight() int { return u.t.Len() }
+
+// ResetStats implements Model (no statistics kept).
+func (u *Unbounded) ResetStats() {}
+
+// FreeCapacity implements Model.
+func (u *Unbounded) FreeCapacity() int { return int(^uint(0) >> 1) }

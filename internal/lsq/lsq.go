@@ -1,0 +1,224 @@
+// Package lsq defines the load/store-queue model abstraction used by
+// the CPU simulator, plus the two baselines of the paper: the
+// conventional fully-associative LSQ (§4.2) and the ARB of Franklin &
+// Sohi (§2, evaluated in Figure 1). The SAMIE-LSQ itself lives in
+// package core and implements the same Model interface.
+//
+// Protocol between the CPU and a Model, per memory instruction:
+//
+//	Dispatch(seq, isLoad)        at rename; false stalls dispatch
+//	AddressReady(seq, ...)       when the effective address is computed
+//	Tick()                       once per cycle; drains placement buffers
+//	ForwardingSource(seq)        when a load is ready to perform
+//	Plan(seq) / RecordAccess     around the Dcache access (way caching)
+//	NotePerformed(seq)           when the access/forward completes
+//	Commit(seq)                  in order at retirement
+//	Flush()                      on a pipeline flush
+//	AccountCycle()               once per cycle (occupancy/area stats)
+//
+// The conservative readyBit disambiguation scheme (§3.1) is enforced
+// by the CPU model: a load only performs once every older store's
+// address is known, which is what makes ForwardingSource exact.
+package lsq
+
+import "sort"
+
+// AccessPlan tells the CPU how a Dcache access may be performed.
+type AccessPlan struct {
+	WayKnown  bool // location cached in the LSQ entry: single-way, no tag check
+	Set, Way  int
+	TLBCached bool // translation cached: skip the DTLB lookup
+
+	// LatencyBonus is the cycles shaved off the access because the
+	// way-known path is faster than a conventional access (Table 1;
+	// the paper leaves exploiting this to future work, implemented
+	// here behind core.Config.FastWayKnown).
+	LatencyBonus int
+}
+
+// Placement reports where AddressReady put an instruction.
+type Placement struct {
+	Placed   bool // resident in a searchable LSQ structure
+	Buffered bool // waiting (SAMIE AddrBuffer / ARB bank-conflict queue)
+	Failed   bool // nowhere to put it: the CPU must flush (§3.3)
+}
+
+// Model is a load/store queue organization.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Dispatch reserves space at rename time; false stalls dispatch.
+	Dispatch(seq uint64, isLoad bool) bool
+	// AddressReady delivers a computed effective address.
+	AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Placement
+	// Tick runs once per cycle and returns the sequence numbers that
+	// moved from a buffer into the searchable LSQ this cycle.
+	Tick() []uint64
+	// Placed reports whether the instruction is searchable (used by
+	// the deadlock check at the ROB head).
+	Placed(seq uint64) bool
+	// ForwardingSource returns the youngest older store whose access
+	// overlaps the load's bytes, if any.
+	ForwardingSource(seq uint64) (storeSeq uint64, ok bool)
+	// Plan returns how the Dcache access for seq may be performed.
+	Plan(seq uint64) AccessPlan
+	// RecordAccess informs the model of a completed conventional
+	// access so it can cache the line location and translation.
+	RecordAccess(seq uint64, set, way int, vpn uint64)
+	// NotePerformed marks the memory access (or forward) complete.
+	NotePerformed(seq uint64)
+	// ClearCachedLocations invalidates all cached line locations
+	// (presentBit flush, §3.4).
+	ClearCachedLocations()
+	// Commit retires the instruction, in order.
+	Commit(seq uint64)
+	// Flush drops every non-committed instruction.
+	Flush()
+	// AccountCycle runs per-cycle statistics (occupancy, active area).
+	AccountCycle()
+	// ResetStats zeroes occupancy/event statistics (state is kept);
+	// called at the end of simulation warm-up.
+	ResetStats()
+	// FreeCapacity returns how many additional computed addresses the
+	// model can accept without AddressReady failing. The CPU gates
+	// address computations on it (the paper's §3.3 alternative to
+	// flushing when every structure is full).
+	FreeCapacity() int
+	// InFlight returns the number of tracked memory instructions.
+	InFlight() int
+}
+
+// Op is the per-instruction record shared by the LSQ models.
+type Op struct {
+	Seq       uint64
+	IsLoad    bool
+	Addr      uint64
+	Size      uint8
+	AddrKnown bool
+	Placed    bool
+	Buffered  bool
+	Performed bool
+	// Loc holds model-defined placement indices.
+	Loc [3]int
+}
+
+// Overlaps reports whether the two accesses touch a common byte (both
+// addresses must be known).
+func (op *Op) Overlaps(other *Op) bool {
+	if !op.AddrKnown || !other.AddrKnown {
+		return false
+	}
+	aEnd := op.Addr + uint64(op.Size)
+	bEnd := other.Addr + uint64(other.Size)
+	return op.Addr < bEnd && other.Addr < aEnd
+}
+
+// Tracker keeps the in-flight memory instructions in program order.
+// It is shared by all LSQ models (including the SAMIE-LSQ in package
+// core).
+type Tracker struct {
+	ops   []*Op
+	bySeq map[uint64]*Op
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{bySeq: make(map[uint64]*Op)}
+}
+
+// Add registers a new in-flight memory instruction. Sequence numbers
+// must be strictly increasing across Adds.
+func (t *Tracker) Add(seq uint64, isLoad bool) *Op {
+	op := &Op{Seq: seq, IsLoad: isLoad, Loc: [3]int{-1, -1, -1}}
+	t.ops = append(t.ops, op)
+	t.bySeq[seq] = op
+	return op
+}
+
+// Get returns the op for seq, or nil.
+func (t *Tracker) Get(seq uint64) *Op { return t.bySeq[seq] }
+
+// IndexOf returns the position of seq in the ordered list, or -1.
+func (t *Tracker) IndexOf(seq uint64) int {
+	i := sort.Search(len(t.ops), func(i int) bool { return t.ops[i].Seq >= seq })
+	if i < len(t.ops) && t.ops[i].Seq == seq {
+		return i
+	}
+	return -1
+}
+
+// Remove drops seq and returns its op; commits arrive in order so this
+// is almost always the front element.
+func (t *Tracker) Remove(seq uint64) *Op {
+	op, ok := t.bySeq[seq]
+	if !ok {
+		return nil
+	}
+	delete(t.bySeq, seq)
+	i := t.IndexOf(seq)
+	if i >= 0 {
+		t.ops = append(t.ops[:i], t.ops[i+1:]...)
+	}
+	return op
+}
+
+// Clear drops every op.
+func (t *Tracker) Clear() {
+	t.ops = t.ops[:0]
+	t.bySeq = make(map[uint64]*Op)
+}
+
+// Len returns the number of tracked ops.
+func (t *Tracker) Len() int { return len(t.ops) }
+
+// Ops returns the ordered in-flight ops (not a copy; callers must not
+// mutate the slice structure).
+func (t *Tracker) Ops() []*Op { return t.ops }
+
+// ForwardingSource scans older placed stores, youngest first, for a
+// byte overlap with the load identified by seq.
+func (t *Tracker) ForwardingSource(seq uint64) (uint64, bool) {
+	op := t.bySeq[seq]
+	if op == nil || !op.IsLoad {
+		return 0, false
+	}
+	i := t.IndexOf(seq)
+	for j := i - 1; j >= 0; j-- {
+		o := t.ops[j]
+		if !o.IsLoad && o.Placed && o.Overlaps(op) {
+			return o.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// CountOlderKnownStores counts placed older stores with known
+// addresses (conventional-LSQ comparison set for a load).
+func (t *Tracker) CountOlderKnownStores(seq uint64) int {
+	i := t.IndexOf(seq)
+	n := 0
+	for j := 0; j < i; j++ {
+		o := t.ops[j]
+		if !o.IsLoad && o.AddrKnown && o.Placed {
+			n++
+		}
+	}
+	return n
+}
+
+// CountYoungerKnownLoads counts placed younger loads with known
+// addresses (conventional-LSQ comparison set for a store).
+func (t *Tracker) CountYoungerKnownLoads(seq uint64) int {
+	i := t.IndexOf(seq)
+	if i < 0 {
+		return 0
+	}
+	n := 0
+	for j := i + 1; j < len(t.ops); j++ {
+		o := t.ops[j]
+		if o.IsLoad && o.AddrKnown && o.Placed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+// Package mem composes the memory hierarchy of Table 2: L1 I/D caches,
+// a unified L2 and main memory, with the paper's latencies (L1D 2
+// cycles, L2 hit 10, memory 100, 2-cycle interchunk transfer).
+//
+// The hierarchy is a timing model: accesses return a latency in cycles
+// and update the underlying cache tag state. Port contention is
+// enforced by the CPU model (which owns the per-cycle port budget);
+// this package accounts pure access latency.
+package mem
+
+import (
+	"fmt"
+
+	"samielsq/internal/cache"
+)
+
+// Config describes the hierarchy latencies beyond the per-cache hit
+// latencies.
+type Config struct {
+	MemLatency int // cycles for an L2 miss to reach data (paper: 100)
+	InterChunk int // cycles between chunks of a line transfer (paper: 2)
+	ChunkBytes int // transfer chunk size (8 bytes, one bus beat)
+}
+
+// PaperConfig returns the Table 2 hierarchy latencies.
+func PaperConfig() Config {
+	return Config{MemLatency: 100, InterChunk: 2, ChunkBytes: 8}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.MemLatency < 0 || c.InterChunk < 0 {
+		return fmt.Errorf("mem: latencies must be non-negative")
+	}
+	if c.ChunkBytes <= 0 {
+		return fmt.Errorf("mem: ChunkBytes must be positive")
+	}
+	return nil
+}
+
+// Hierarchy bundles the caches. The D-side path is L1D -> L2 -> memory
+// and the I-side path is L1I -> L2 -> memory.
+type Hierarchy struct {
+	cfg Config
+	L1D *cache.Cache
+	L1I *cache.Cache
+	L2  *cache.Cache
+
+	l2Accesses, memAccesses uint64
+}
+
+// New builds a hierarchy from the given caches; any nil cache is
+// replaced by its paper-default configuration.
+func New(cfg Config, l1d, l1i, l2 *cache.Cache) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if l1d == nil {
+		l1d = cache.New(cache.PaperL1D())
+	}
+	if l1i == nil {
+		l1i = cache.New(cache.PaperL1I())
+	}
+	if l2 == nil {
+		l2 = cache.New(cache.PaperL2())
+	}
+	return &Hierarchy{cfg: cfg, L1D: l1d, L1I: l1i, L2: l2}
+}
+
+// NewPaper builds the full Table 2 hierarchy.
+func NewPaper() *Hierarchy {
+	return New(PaperConfig(), nil, nil, nil)
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// transferCycles returns the extra cycles to stream a line into the
+// upper level after the first chunk arrives.
+func (h *Hierarchy) transferCycles(lineBytes int) int {
+	chunks := lineBytes / h.cfg.ChunkBytes
+	if chunks < 1 {
+		chunks = 1
+	}
+	return (chunks - 1) * h.cfg.InterChunk
+}
+
+// DataResult reports a data access outcome.
+type DataResult struct {
+	Latency int          // total cycles until data available
+	L1      cache.Result // L1D tag outcome (set/way/eviction info)
+	L1Hit   bool
+	L2Hit   bool // meaningful only when !L1Hit
+}
+
+// Data performs a data access through L1D (conventional tag-checked
+// access), filling lower levels on misses, and returns the latency.
+func (h *Hierarchy) Data(addr uint64, write bool) DataResult {
+	res := DataResult{}
+	res.L1 = h.L1D.Access(addr, write)
+	res.L1Hit = res.L1.Hit
+	res.Latency = h.L1D.Config().HitLatency
+	if res.L1Hit {
+		return res
+	}
+	res.Latency += h.lowerLatency(addr, &res.L2Hit)
+	res.Latency += h.transferCycles(h.L1D.Config().LineBytes)
+	return res
+}
+
+// DataDirect performs a way-known L1D access (§3.4): the physical
+// location is supplied by the LSQ entry, no tag check happens and the
+// access always hits (the presentBit protocol guarantees residency).
+// It returns the L1 hit latency and reports whether the invariant held.
+func (h *Hierarchy) DataDirect(addr uint64, set, way int, write bool) (latency int, ok bool) {
+	ok = h.L1D.DirectAccess(addr, set, way, write)
+	return h.L1D.Config().HitLatency, ok
+}
+
+// Inst performs an instruction fetch through L1I.
+func (h *Hierarchy) Inst(addr uint64) int {
+	r := h.L1I.Access(addr, false)
+	lat := h.L1I.Config().HitLatency
+	if r.Hit {
+		return lat
+	}
+	var l2hit bool
+	lat += h.lowerLatency(addr, &l2hit)
+	lat += h.transferCycles(h.L1I.Config().LineBytes)
+	return lat
+}
+
+// lowerLatency accesses L2 and, on a miss, memory; it returns the
+// added latency beyond the L1 hit time.
+func (h *Hierarchy) lowerLatency(addr uint64, l2hit *bool) int {
+	h.l2Accesses++
+	r2 := h.L2.Access(addr, false)
+	lat := h.L2.Config().HitLatency
+	if r2.Hit {
+		*l2hit = true
+		return lat
+	}
+	*l2hit = false
+	h.memAccesses++
+	lat += h.cfg.MemLatency + h.transferCycles(h.L2.Config().LineBytes)
+	return lat
+}
+
+// ResetStats zeroes the hierarchy's access counters (cache contents
+// are kept). Used at the end of simulation warm-up.
+func (h *Hierarchy) ResetStats() {
+	h.l2Accesses, h.memAccesses = 0, 0
+	h.L1D.ResetStats()
+	h.L1I.ResetStats()
+	h.L2.ResetStats()
+}
+
+// L2Accesses returns the number of L2 lookups performed.
+func (h *Hierarchy) L2Accesses() uint64 { return h.l2Accesses }
+
+// MemAccesses returns the number of main-memory accesses performed.
+func (h *Hierarchy) MemAccesses() uint64 { return h.memAccesses }

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"testing"
+
+	"samielsq/internal/cache"
+)
+
+func TestConfigValidate(t *testing.T) {
+	c := Config{MemLatency: -1, InterChunk: 2, ChunkBytes: 8}
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	c = Config{MemLatency: 100, InterChunk: 2, ChunkBytes: 0}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+	pc := PaperConfig()
+	if err := pc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyChain(t *testing.T) {
+	h := NewPaper()
+	// Cold data access: L1 miss (2) + L2 miss (10) + memory (100) +
+	// L2 transfer (64/8-1)*2=14 + L1 transfer (32/8-1)*2=6 = 132.
+	r := h.Data(0x10000, false)
+	if r.L1Hit || r.L2Hit {
+		t.Fatalf("cold access hit: %+v", r)
+	}
+	if r.Latency != 132 {
+		t.Fatalf("cold latency = %d, want 132", r.Latency)
+	}
+	// Second access to the same line: L1 hit, 2 cycles.
+	r = h.Data(0x10008, false)
+	if !r.L1Hit || r.Latency != 2 {
+		t.Fatalf("hit latency = %d (hit=%v), want 2", r.Latency, r.L1Hit)
+	}
+	// Neighbouring L1 line within the same (64-byte) L2 line: L1 miss,
+	// L2 hit: 2 + 10 + 6 = 18.
+	r = h.Data(0x10020, false)
+	if r.L1Hit || !r.L2Hit {
+		t.Fatalf("expected L2 hit: %+v", r)
+	}
+	if r.Latency != 18 {
+		t.Fatalf("L2-hit latency = %d, want 18", r.Latency)
+	}
+}
+
+func TestInstLatency(t *testing.T) {
+	h := NewPaper()
+	// Cold: 1 + 10 + 100 + 14 + 6 = 131.
+	if lat := h.Inst(0x20000); lat != 131 {
+		t.Fatalf("cold inst latency = %d, want 131", lat)
+	}
+	if lat := h.Inst(0x20004); lat != 1 {
+		t.Fatalf("warm inst latency = %d, want 1", lat)
+	}
+}
+
+func TestDataDirect(t *testing.T) {
+	h := NewPaper()
+	r := h.Data(0x30000, false)
+	lat, ok := h.DataDirect(0x30010, r.L1.Set, r.L1.Way, false)
+	if !ok || lat != 2 {
+		t.Fatalf("direct access: ok=%v lat=%d", ok, lat)
+	}
+	if _, ok := h.DataDirect(0x99990000, r.L1.Set, r.L1.Way, false); ok {
+		t.Fatal("direct access to absent line succeeded")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	h := NewPaper()
+	h.Data(0x40000, false) // L1 miss, L2 miss, mem access
+	h.Data(0x40000, false) // L1 hit
+	if h.L2Accesses() != 1 || h.MemAccesses() != 1 {
+		t.Fatalf("l2=%d mem=%d, want 1/1", h.L2Accesses(), h.MemAccesses())
+	}
+	h.ResetStats()
+	if h.L2Accesses() != 0 || h.MemAccesses() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+	if h.L1D.Hits() != 0 {
+		t.Fatal("ResetStats did not reach L1D")
+	}
+}
+
+func TestCustomCaches(t *testing.T) {
+	small := cache.New(cache.Config{Name: "s", SizeBytes: 1024, LineBytes: 32, Ways: 1, HitLatency: 3})
+	h := New(PaperConfig(), small, nil, nil)
+	if h.L1D.Config().HitLatency != 3 {
+		t.Fatal("custom L1D not wired")
+	}
+	r := h.Data(0x1000, false)
+	if r.Latency < 3 {
+		t.Fatalf("latency %d below custom hit latency", r.Latency)
+	}
+}
+
+func TestWriteDirties(t *testing.T) {
+	h := NewPaper()
+	h.Data(0x50000, true)
+	// Fill the set to evict the dirty line; L1D is 4-way, 64 sets.
+	setStride := uint64(64 * 32)
+	for i := 1; i <= 4; i++ {
+		h.Data(0x50000+uint64(i)*setStride, false)
+	}
+	if h.L1D.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", h.L1D.Writebacks())
+	}
+}

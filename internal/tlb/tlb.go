@@ -1,0 +1,135 @@
+// Package tlb models the fully-associative translation lookaside
+// buffers of Table 2: 128-entry ITLB and DTLB with LRU replacement and
+// 1-cycle access. The SAMIE-LSQ caches a translation inside an LSQ
+// entry so that instructions sharing the entry skip the DTLB lookup
+// entirely (§3.4); that logic lives in the core package — this package
+// only provides the TLB structure itself.
+package tlb
+
+import "fmt"
+
+// PageBytes is the virtual memory page size assumed by the model.
+const PageBytes = 4096
+
+// Config sizes a TLB.
+type Config struct {
+	Name        string
+	Entries     int
+	HitLatency  int // cycles
+	MissPenalty int // cycles added on a TLB miss (page-table walk)
+}
+
+// PaperDTLB returns the Table 2 DTLB: 128 entries, fully associative,
+// 1-cycle access. The paper does not state the miss penalty; we use
+// SimpleScalar's default 30-cycle walk.
+func PaperDTLB() Config {
+	return Config{Name: "dtlb", Entries: 128, HitLatency: 1, MissPenalty: 30}
+}
+
+// PaperITLB returns the Table 2 ITLB configuration.
+func PaperITLB() Config {
+	return Config{Name: "itlb", Entries: 128, HitLatency: 1, MissPenalty: 30}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb %s: entries must be positive", c.Name)
+	}
+	if c.HitLatency < 0 || c.MissPenalty < 0 {
+		return fmt.Errorf("tlb %s: latencies must be non-negative", c.Name)
+	}
+	return nil
+}
+
+type entry struct {
+	vpn   uint64
+	valid bool
+	age   uint64
+}
+
+// TLB is a fully-associative LRU TLB over 4KB pages.
+type TLB struct {
+	cfg     Config
+	entries []entry
+	tick    uint64
+
+	hits, misses uint64
+}
+
+// New builds a TLB; panics on invalid configuration.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// VPN returns the virtual page number of an address.
+func VPN(addr uint64) uint64 { return addr / PageBytes }
+
+// Translation is the cached result of a lookup; the SAMIE-LSQ stores
+// one of these per entry.
+type Translation struct {
+	VPN   uint64
+	Valid bool
+}
+
+// Lookup translates addr, filling on a miss, and returns whether it
+// hit together with the latency in cycles.
+func (t *TLB) Lookup(addr uint64) (hit bool, latency int) {
+	vpn := VPN(addr)
+	t.tick++
+	lru := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			e.age = t.tick
+			t.hits++
+			return true, t.cfg.HitLatency
+		}
+		if !t.entries[lru].valid {
+			continue // keep first invalid as victim
+		}
+		if !e.valid || e.age < t.entries[lru].age {
+			lru = i
+		}
+	}
+	t.misses++
+	t.entries[lru] = entry{vpn: vpn, valid: true, age: t.tick}
+	return false, t.cfg.HitLatency + t.cfg.MissPenalty
+}
+
+// Probe reports whether addr's page is resident without updating
+// state.
+func (t *TLB) Probe(addr uint64) bool {
+	vpn := VPN(addr)
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes the hit/miss counters (entries are kept). Used at
+// the end of simulation warm-up.
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+
+// Hits returns the number of hitting lookups.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the number of missing lookups.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRate returns misses/(hits+misses), 0 if no lookups.
+func (t *TLB) MissRate() float64 {
+	n := t.hits + t.misses
+	if n == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(n)
+}

@@ -1,0 +1,94 @@
+package tlb
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{
+		{Name: "bad", Entries: 0},
+		{Name: "bad", Entries: 4, HitLatency: -1},
+		{Name: "bad", Entries: 4, MissPenalty: -1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+	for _, c := range []Config{PaperDTLB(), PaperITLB()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("paper config rejected: %v", err)
+		}
+	}
+}
+
+func TestVPN(t *testing.T) {
+	if VPN(0) != 0 || VPN(4095) != 0 || VPN(4096) != 1 {
+		t.Fatal("VPN arithmetic wrong")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 4, HitLatency: 1, MissPenalty: 30})
+	hit, lat := tl.Lookup(0x1000)
+	if hit || lat != 31 {
+		t.Fatalf("cold lookup: hit=%v lat=%d", hit, lat)
+	}
+	hit, lat = tl.Lookup(0x1800) // same page
+	if !hit || lat != 1 {
+		t.Fatalf("same-page lookup: hit=%v lat=%d", hit, lat)
+	}
+	if tl.Hits() != 1 || tl.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", tl.Hits(), tl.Misses())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tl := New(Config{Name: "t", Entries: 2, HitLatency: 1, MissPenalty: 10})
+	tl.Lookup(0 * PageBytes)
+	tl.Lookup(1 * PageBytes)
+	tl.Lookup(0 * PageBytes) // touch page 0; page 1 is LRU
+	tl.Lookup(2 * PageBytes) // evicts page 1
+	if !tl.Probe(0) {
+		t.Fatal("MRU page evicted")
+	}
+	if tl.Probe(1 * PageBytes) {
+		t.Fatal("LRU page survived")
+	}
+	if !tl.Probe(2 * PageBytes) {
+		t.Fatal("new page missing")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cfg := PaperDTLB()
+	tl := New(cfg)
+	for i := 0; i < cfg.Entries; i++ {
+		tl.Lookup(uint64(i) * PageBytes)
+	}
+	// All resident: re-touch hits.
+	for i := 0; i < cfg.Entries; i++ {
+		if hit, _ := tl.Lookup(uint64(i) * PageBytes); !hit {
+			t.Fatalf("page %d evicted below capacity", i)
+		}
+	}
+	if tl.Misses() != uint64(cfg.Entries) {
+		t.Fatalf("misses = %d, want %d", tl.Misses(), cfg.Entries)
+	}
+}
+
+func TestMissRateAndReset(t *testing.T) {
+	tl := New(PaperDTLB())
+	if tl.MissRate() != 0 {
+		t.Fatal("empty TLB miss rate != 0")
+	}
+	tl.Lookup(0x1000)
+	tl.Lookup(0x1000)
+	if tl.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", tl.MissRate())
+	}
+	tl.ResetStats()
+	if tl.Hits() != 0 || tl.Misses() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+	if !tl.Probe(0x1000) {
+		t.Fatal("ResetStats dropped entries")
+	}
+}

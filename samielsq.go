@@ -1,0 +1,160 @@
+// Package samielsq is a from-scratch Go reproduction of
+// "SAMIE-LSQ: Set-Associative Multiple-Instruction Entry Load/Store
+// Queue" (Abella & González, IPDPS 2006).
+//
+// It bundles a cycle-level out-of-order CPU simulator, a memory
+// hierarchy, branch prediction, a CACTI-3.0-style timing/energy/area
+// model, the conventional and ARB baseline load/store queues, the
+// SAMIE-LSQ itself, synthetic SPEC CPU2000 workload personalities, and
+// one experiment harness per table and figure of the paper.
+//
+// Quick start:
+//
+//	res := samielsq.Compare("swim", 200_000)
+//	fmt.Printf("IPC %.3f -> %.3f, LSQ energy saving %.0f%%\n",
+//		res.Conventional.IPC, res.SAMIE.IPC, res.LSQSavingPct)
+//
+// The experiment harnesses regenerate the paper's evaluation:
+//
+//	fmt.Println(samielsq.Figure56(samielsq.Benchmarks(), 200_000))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package samielsq
+
+import (
+	"samielsq/internal/core"
+	"samielsq/internal/cpu"
+	"samielsq/internal/energy"
+	"samielsq/internal/experiments"
+	"samielsq/internal/lsq"
+	"samielsq/internal/trace"
+)
+
+// Re-exported configuration types.
+type (
+	// SAMIEConfig sizes the SAMIE-LSQ (Table 3 of the paper).
+	SAMIEConfig = core.Config
+	// CPUConfig is the processor configuration (Table 2).
+	CPUConfig = cpu.Config
+	// Personality parameterizes a synthetic workload.
+	Personality = trace.Params
+	// SimStats summarizes one simulation.
+	SimStats = cpu.Result
+	// SAMIEStats carries SAMIE-specific statistics.
+	SAMIEStats = core.Stats
+	// EnergyMeter accumulates per-structure dynamic energy and active
+	// area.
+	EnergyMeter = energy.Meter
+	// LSQModel is the load/store-queue abstraction; Conventional, ARB,
+	// Unbounded and SAMIE implement it.
+	LSQModel = lsq.Model
+)
+
+// PaperSAMIEConfig returns the Table 3 SAMIE-LSQ configuration
+// (64 banks x 2 entries x 8 slots, 8 SharedLSQ entries, 64 AddrBuffer
+// slots).
+func PaperSAMIEConfig() SAMIEConfig { return core.PaperConfig() }
+
+// PaperCPUConfig returns the Table 2 processor configuration.
+func PaperCPUConfig() CPUConfig { return cpu.PaperConfig() }
+
+// Benchmarks returns the 26 SPEC CPU2000 workload names.
+func Benchmarks() []string { return trace.Benchmarks() }
+
+// BenchmarkPersonality returns the calibrated workload parameters for
+// a benchmark name.
+func BenchmarkPersonality(name string) (Personality, error) {
+	return trace.Personality(name)
+}
+
+// ComparisonResult is the outcome of running one benchmark under both
+// the conventional LSQ and the SAMIE-LSQ.
+type ComparisonResult struct {
+	Benchmark    string
+	Conventional SimStats
+	SAMIE        SimStats
+	SAMIEDetail  SAMIEStats
+
+	ConvMeter  *EnergyMeter
+	SAMIEMeter *EnergyMeter
+
+	// Headline numbers in the paper's terms.
+	IPCLossPct      float64 // positive = SAMIE slower (paper avg: 0.6%)
+	LSQSavingPct    float64 // paper avg: 82%
+	DcacheSavingPct float64 // paper avg: 42%
+	DTLBSavingPct   float64 // paper avg: 73%
+}
+
+// Compare runs benchmark for insts measured instructions (after an
+// equal warm-up) under the paper's baseline and the SAMIE-LSQ, and
+// reports the headline comparison.
+func Compare(benchmark string, insts uint64) ComparisonResult {
+	conv := experiments.Run(experiments.RunSpec{
+		Benchmark: benchmark, Insts: insts, Model: experiments.ModelConventional,
+	})
+	sam := experiments.Run(experiments.RunSpec{
+		Benchmark: benchmark, Insts: insts, Model: experiments.ModelSAMIE,
+	})
+	res := ComparisonResult{
+		Benchmark:    benchmark,
+		Conventional: conv.CPU,
+		SAMIE:        sam.CPU,
+		SAMIEDetail:  sam.SAMIE,
+		ConvMeter:    conv.Meter,
+		SAMIEMeter:   sam.Meter,
+	}
+	if conv.CPU.IPC > 0 {
+		res.IPCLossPct = (conv.CPU.IPC - sam.CPU.IPC) / conv.CPU.IPC * 100
+	}
+	if conv.Meter.ConvLSQ > 0 {
+		res.LSQSavingPct = (1 - sam.Meter.SAMIETotal()/conv.Meter.ConvLSQ) * 100
+	}
+	if conv.Meter.Dcache > 0 {
+		res.DcacheSavingPct = (1 - sam.Meter.Dcache/conv.Meter.Dcache) * 100
+	}
+	if conv.Meter.DTLB > 0 {
+		res.DTLBSavingPct = (1 - sam.Meter.DTLB/conv.Meter.DTLB) * 100
+	}
+	return res
+}
+
+// Experiment harness re-exports: each regenerates one paper artefact
+// (see DESIGN.md §3 for the index). The returned results implement
+// fmt.Stringer and render the same rows/series the paper reports.
+
+// Figure1 reproduces Figure 1 (ARB IPC vs an unbounded LSQ).
+func Figure1(benchmarks []string, insts uint64) experiments.Figure1Result {
+	return experiments.Figure1(benchmarks, insts)
+}
+
+// Figure3 reproduces Figure 3 (unbounded SharedLSQ occupancy).
+func Figure3(benchmarks []string, insts uint64) experiments.Figure3Result {
+	return experiments.Figure3(benchmarks, insts)
+}
+
+// Figure4 reproduces Figure 4 (programs vs SharedLSQ size).
+func Figure4(benchmarks []string, insts uint64) experiments.Figure4Result {
+	return experiments.Figure4(benchmarks, insts, nil)
+}
+
+// Figure56 reproduces Figures 5 and 6 (IPC loss and deadlock flushes).
+func Figure56(benchmarks []string, insts uint64) experiments.Figure56Result {
+	return experiments.Figure56(benchmarks, insts)
+}
+
+// Energy reproduces Figures 7-12 (dynamic energy and active area).
+func Energy(benchmarks []string, insts uint64) experiments.EnergyResult {
+	return experiments.Energy(benchmarks, insts)
+}
+
+// Table1 reproduces Table 1 (cache access times) with the analytical
+// CACTI-style model.
+func Table1() experiments.Table1Result { return experiments.Table1() }
+
+// Delays reproduces the §3.6 structure-delay analysis.
+func Delays() experiments.DelayResult { return experiments.Delays() }
+
+// Tables456 renders the Table 4/5/6 energy and area constants together
+// with analytical-model cross-checks.
+func Tables456() string { return experiments.Tables456String() }
