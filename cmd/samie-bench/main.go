@@ -1,6 +1,9 @@
 // Command samie-bench regenerates the paper's evaluation artefacts:
 // every figure (1, 3, 4, 5, 6, 7-12) and table (1, 4, 5, 6) plus the
-// §3.6 delay analysis.
+// §3.6 delay analysis. All simulations execute through one shared
+// batch, so a spec needed by several figures (e.g. the
+// conventional/SAMIE pair behind Figures 5/6 and 7-12) simulates
+// exactly once.
 //
 // Usage:
 //
@@ -8,6 +11,9 @@
 //	samie-bench -insts 1000000       # higher-fidelity run
 //	samie-bench -fig 5 -fig 6        # specific figures
 //	samie-bench -bench ammp,swim     # subset of the suite
+//	samie-bench -list-scenarios      # named sweeps from the registry
+//	samie-bench -scenario models     # run a registered sweep
+//	samie-bench -workers 4 -stats    # bound the pool, print cache stats
 package main
 
 import (
@@ -19,27 +25,56 @@ import (
 	"samielsq/internal/experiments"
 )
 
-type figList []string
+type stringList []string
 
-func (f *figList) String() string     { return strings.Join(*f, ",") }
-func (f *figList) Set(v string) error { *f = append(*f, v); return nil }
+func (f *stringList) String() string     { return strings.Join(*f, ",") }
+func (f *stringList) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
-	var figs figList
+	var figs, scenarios stringList
 	insts := flag.Uint64("insts", experiments.DefaultInsts, "measured instructions per benchmark")
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset (default: all 26)")
 	flag.Var(&figs, "fig", "figure to regenerate (1,3,4,5,6,7..12); repeatable")
+	flag.Var(&scenarios, "scenario", "registered scenario sweep to run; repeatable")
+	listScenarios := flag.Bool("list-scenarios", false, "list registered scenario sweeps and exit")
+	workers := flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print the shared batch's run-cache accounting")
 	table1 := flag.Bool("table1", false, "regenerate Table 1 only")
 	delays := flag.Bool("delays", false, "regenerate the §3.6 delay analysis only")
 	tables456 := flag.Bool("tables456", false, "print Tables 4/5/6 and model cross-checks only")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *listScenarios {
+		for _, name := range experiments.ScenarioNames() {
+			sc, _ := experiments.LookupScenario(name)
+			fmt.Printf("%-20s %s (%d variants)\n", name, sc.Description, len(sc.Variants))
+		}
+		return
+	}
+
+	// Validate scenario names before any simulation runs: a typo must
+	// not cost a full figure sweep first.
+	for _, name := range scenarios {
+		if _, ok := experiments.LookupScenario(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (see -list-scenarios)\n", name)
+			os.Exit(2)
+		}
+	}
 
 	benchmarks := experiments.Benchmarks()
 	if *benchCSV != "" {
 		benchmarks = strings.Split(*benchCSV, ",")
 	}
 
-	specific := len(figs) > 0 || *table1 || *delays || *tables456
+	// One batch shared by every figure and scenario this invocation
+	// renders.
+	batch := experiments.NewBatch(*workers)
+
+	specific := len(figs) > 0 || len(scenarios) > 0 || *table1 || *delays || *tables456
 	want := func(f string) bool {
 		if !specific {
 			return true
@@ -53,16 +88,16 @@ func main() {
 	}
 
 	if want("1") {
-		fmt.Println(experiments.Figure1(benchmarks, *insts))
+		fmt.Println(batch.Figure1(benchmarks, *insts))
 	}
 	if want("3") {
-		fmt.Println(experiments.Figure3(benchmarks, *insts))
+		fmt.Println(batch.Figure3(benchmarks, *insts))
 	}
 	if want("4") {
-		fmt.Println(experiments.Figure4(benchmarks, *insts, nil))
+		fmt.Println(batch.Figure4(benchmarks, *insts, nil))
 	}
 	if want("5") || want("6") {
-		fmt.Println(experiments.Figure56(benchmarks, *insts))
+		fmt.Println(batch.Figure56(benchmarks, *insts))
 	}
 	energyWanted := false
 	for _, f := range []string{"7", "8", "9", "10", "11", "12"} {
@@ -71,7 +106,15 @@ func main() {
 		}
 	}
 	if energyWanted {
-		fmt.Println(experiments.Energy(benchmarks, *insts))
+		fmt.Println(batch.Energy(benchmarks, *insts))
+	}
+	for _, name := range scenarios {
+		res, err := batch.Scenario(name, benchmarks, *insts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(res)
 	}
 	if !specific || *table1 {
 		fmt.Println(experiments.Table1())
@@ -82,8 +125,9 @@ func main() {
 	if !specific || *tables456 {
 		fmt.Println(experiments.Tables456String())
 	}
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
-		os.Exit(2)
+	if *stats {
+		st := batch.Stats()
+		fmt.Printf("shared batch: %d simulations executed, %d of %d requests served from cache (%.0f%% reuse), %d workers\n",
+			st.Executed, st.Hits, st.Requests, 100*st.HitRate(), batch.Workers())
 	}
 }

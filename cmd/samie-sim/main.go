@@ -25,6 +25,7 @@ func main() {
 	insts := flag.Uint64("insts", experiments.DefaultInsts, "measured instructions")
 	warmup := flag.Uint64("warmup", 0, "warm-up instructions (default insts/2)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	showKey := flag.Bool("key", false, "print the spec's canonical engine cache key")
 
 	banks := flag.Int("banks", 64, "DistribLSQ banks (samie) / ARB banks")
 	entries := flag.Int("entries", 2, "DistribLSQ entries per bank")
@@ -63,7 +64,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := experiments.Run(spec)
+	if *showKey {
+		fmt.Println(experiments.Key(spec))
+	}
+
+	// A single run still goes through the engine so the spec takes the
+	// same normalization path as the batch harnesses.
+	r := experiments.NewBatch(1).Run(spec)
 	c := r.CPU
 	fmt.Printf("benchmark          %s (%s model)\n", *bench, *model)
 	fmt.Printf("instructions       %d (cycles %d)\n", c.Committed, c.Cycles)

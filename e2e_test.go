@@ -1,0 +1,297 @@
+package samielsq_test
+
+// End-to-end test matrix over the public API. Every case below is
+// listed in docs/functional-testing.md with the same case ID; keep the
+// two in sync. Each case runs as one named subtest (E00001...), so
+//
+//	go test -run 'TestE2E/E00007' .
+//
+// replays a single case. Budgets shrink under -short so the whole
+// matrix stays in the seconds range on one core.
+
+import (
+	"strings"
+	"testing"
+
+	"samielsq"
+)
+
+// e2eInsts is the per-benchmark instruction budget for simulation
+// cases.
+func e2eInsts() uint64 {
+	if testing.Short() {
+		return 10_000
+	}
+	return 25_000
+}
+
+// e2eBench is the two-benchmark subset simulation cases sweep: one
+// streaming FP program, one integer program.
+var e2eBench = []string{"swim", "gzip"}
+
+type e2eCase struct {
+	id, name string
+	run      func(t *testing.T)
+}
+
+func TestE2E(t *testing.T) {
+	cases := []e2eCase{
+		{"E00001", "benchmark_suite_and_personalities", caseBenchmarkSuite},
+		{"E00002", "paper_configurations", casePaperConfigs},
+		{"E00003", "compare_headline_savings", caseCompareHeadlines},
+		{"E00004", "compare_shares_figure56_runs", caseCompareSharesRuns},
+		{"E00005", "figure56_end_to_end", caseFigure56},
+		{"E00006", "energy_figures_end_to_end", caseEnergy},
+		{"E00007", "suite_shared_batch_exactly_once", caseSuiteExactlyOnce},
+		{"E00008", "suite_figures_match_standalone", caseSuiteMatchesStandalone},
+		{"E00009", "scenario_registry_sweep", caseScenarioSweep},
+		{"E00010", "scenario_unknown_name_errors", caseScenarioUnknown},
+		{"E00011", "scenario_custom_registration", caseScenarioCustom},
+		{"E00012", "static_tables_render", caseStaticTables},
+		{"E00013", "deterministic_across_workers", caseDeterminism},
+		{"E00014", "engine_key_canonicalization", caseKeyCanonicalization},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if seen[c.id] {
+			t.Fatalf("duplicate case ID %s", c.id)
+		}
+		seen[c.id] = true
+		t.Run(c.id+"_"+c.name, c.run)
+	}
+}
+
+func caseBenchmarkSuite(t *testing.T) {
+	bs := samielsq.Benchmarks()
+	if len(bs) != 26 {
+		t.Fatalf("suite has %d programs, want 26", len(bs))
+	}
+	for _, want := range e2eBench {
+		found := false
+		for _, b := range bs {
+			found = found || b == want
+		}
+		if !found {
+			t.Errorf("suite misses %s", want)
+		}
+	}
+	if _, err := samielsq.BenchmarkPersonality("swim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := samielsq.BenchmarkPersonality("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func casePaperConfigs(t *testing.T) {
+	sc := samielsq.PaperSAMIEConfig()
+	if sc.Banks != 64 || sc.EntriesPerBank != 2 || sc.SlotsPerEntry != 8 ||
+		sc.SharedEntries != 8 || sc.AddrBufferSlots != 64 {
+		t.Fatalf("Table 3 config wrong: %+v", sc)
+	}
+	cc := samielsq.PaperCPUConfig()
+	if cc.ROBSize != 256 || cc.FetchWidth != 8 || cc.DcachePorts != 4 {
+		t.Fatalf("Table 2 config wrong: %+v", cc)
+	}
+}
+
+func caseCompareHeadlines(t *testing.T) {
+	r := samielsq.Compare("swim", e2eInsts())
+	if r.Benchmark != "swim" {
+		t.Fatalf("result for %q, want swim", r.Benchmark)
+	}
+	if r.Conventional.IPC <= 0 || r.SAMIE.IPC <= 0 {
+		t.Fatalf("non-positive IPC: %+v", r)
+	}
+	if r.IPCLossPct > 5 {
+		t.Errorf("swim IPC loss %.2f%% too high", r.IPCLossPct)
+	}
+	if r.LSQSavingPct < 40 {
+		t.Errorf("LSQ saving %.1f%% too low", r.LSQSavingPct)
+	}
+	if r.DcacheSavingPct < 15 {
+		t.Errorf("Dcache saving %.1f%% too low", r.DcacheSavingPct)
+	}
+	if r.DTLBSavingPct < 30 {
+		t.Errorf("DTLB saving %.1f%% too low", r.DTLBSavingPct)
+	}
+}
+
+func caseCompareSharesRuns(t *testing.T) {
+	b := samielsq.NewBatch(0)
+	fig := b.Figure56(e2eBench, e2eInsts())
+	before := b.Stats().Executed
+	r := samielsq.CompareIn(b, "swim", e2eInsts())
+	if after := b.Stats().Executed; after != before {
+		t.Errorf("CompareIn simulated %d new runs after Figure56, want 0", after-before)
+	}
+	if r.Conventional.IPC != fig.Rows[0].ConvIPC || r.SAMIE.IPC != fig.Rows[0].SAMIEIPC {
+		t.Errorf("CompareIn IPCs (%.4f, %.4f) differ from Figure56 row (%.4f, %.4f)",
+			r.Conventional.IPC, r.SAMIE.IPC, fig.Rows[0].ConvIPC, fig.Rows[0].SAMIEIPC)
+	}
+}
+
+func caseFigure56(t *testing.T) {
+	f := samielsq.Figure56(e2eBench, e2eInsts())
+	if len(f.Rows) != len(e2eBench) {
+		t.Fatalf("%d rows, want %d", len(f.Rows), len(e2eBench))
+	}
+	for _, r := range f.Rows {
+		if r.ConvIPC <= 0 || r.SAMIEIPC <= 0 {
+			t.Errorf("%s: non-positive IPC", r.Benchmark)
+		}
+	}
+	s := f.String()
+	if !strings.Contains(s, "SPEC mean IPC loss") || !strings.Contains(s, "deadlocks/Mcycle") {
+		t.Errorf("rendering lost headline lines:\n%s", s)
+	}
+}
+
+func caseEnergy(t *testing.T) {
+	e := samielsq.Energy(e2eBench, e2eInsts())
+	if len(e.Rows) != len(e2eBench) {
+		t.Fatalf("%d rows, want %d", len(e.Rows), len(e2eBench))
+	}
+	if s := e.LSQSavings(); s < 0.4 || s > 1 {
+		t.Errorf("LSQ savings %.2f out of band (paper 0.82)", s)
+	}
+	if s := e.DcacheSavings(); s < 0.15 || s > 1 {
+		t.Errorf("Dcache savings %.2f out of band (paper 0.42)", s)
+	}
+	if s := e.DTLBSavings(); s < 0.3 || s > 1 {
+		t.Errorf("DTLB savings %.2f out of band (paper 0.73)", s)
+	}
+	for _, part := range []string{"Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12"} {
+		if !strings.Contains(e.String(), part) {
+			t.Errorf("rendering lost %s", part)
+		}
+	}
+}
+
+func caseSuiteExactlyOnce(t *testing.T) {
+	res := samielsq.RunSuite(e2eBench, e2eInsts())
+	st := res.Runs
+	if st.Executed == 0 || st.Hits == 0 {
+		t.Fatalf("suite accounting implausible: %+v", st)
+	}
+	if st.Hits+st.Executed != st.Requests {
+		t.Errorf("accounting leak: %d hits + %d executed != %d requests", st.Hits, st.Executed, st.Requests)
+	}
+	// Exactly-once across the whole suite: 16 ARB + 1 unbounded + 3
+	// unbounded-shared + 16 Figure-4 sizes (one being the paper config)
+	// + the conventional/SAMIE pair, per benchmark.
+	want := int64(len(e2eBench) * 37)
+	if st.Executed != want {
+		t.Errorf("executed %d distinct simulations, want %d", st.Executed, want)
+	}
+	if !strings.Contains(res.String(), "Shared batch:") {
+		t.Error("suite rendering lost the run accounting")
+	}
+}
+
+func caseSuiteMatchesStandalone(t *testing.T) {
+	b := samielsq.NewBatch(0)
+	suiteFig := b.Figure56(e2eBench, e2eInsts())
+	suiteEnergy := b.Energy(e2eBench, e2eInsts())
+	if got, want := suiteFig.String(), samielsq.Figure56(e2eBench, e2eInsts()).String(); got != want {
+		t.Errorf("Figure56 through shared batch differs from standalone\nshared:\n%s\nstandalone:\n%s", got, want)
+	}
+	if got, want := suiteEnergy.String(), samielsq.Energy(e2eBench, e2eInsts()).String(); got != want {
+		t.Errorf("Energy through shared batch differs from standalone\nshared:\n%s\nstandalone:\n%s", got, want)
+	}
+}
+
+func caseScenarioSweep(t *testing.T) {
+	names := samielsq.ScenarioNames()
+	if len(names) < 8 {
+		t.Fatalf("only %d registered scenarios: %v", len(names), names)
+	}
+	res, err := samielsq.RunScenario("shared-lsq-sizes", e2eBench, e2eInsts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != len(e2eBench) || len(res.Variants) != 5 {
+		t.Fatalf("sweep shape %dx%d, want %dx5", len(res.IPC), len(res.Variants), len(e2eBench))
+	}
+	for bi := range res.IPC {
+		for vi, ipc := range res.IPC[bi] {
+			if ipc <= 0.1 || ipc > 8 {
+				t.Errorf("%s/%s IPC %.3f out of sane range",
+					res.Benchmarks[bi], res.Variants[vi], ipc)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "geomean") {
+		t.Error("sweep rendering lost the geomean row")
+	}
+}
+
+func caseScenarioUnknown(t *testing.T) {
+	if _, err := samielsq.RunScenario("no-such-sweep", e2eBench, 1000); err == nil {
+		t.Fatal("unknown scenario did not error")
+	} else if !strings.Contains(err.Error(), "no-such-sweep") {
+		t.Errorf("error %q does not name the missing scenario", err)
+	}
+}
+
+func caseScenarioCustom(t *testing.T) {
+	cfg := samielsq.PaperSAMIEConfig()
+	cfg.SharedEntries = 12
+	samielsq.RegisterScenario(samielsq.Scenario{
+		Name:        "e2e-custom",
+		Description: "registered by the e2e matrix",
+		Variants: []samielsq.ScenarioVariant{
+			{Name: "shared-12", Spec: func(bench string, insts uint64) samielsq.RunSpec {
+				c := cfg
+				return samielsq.RunSpec{Benchmark: bench, Insts: insts, Model: samielsq.ModelSAMIE, SAMIE: &c}
+			}},
+		},
+	})
+	res, err := samielsq.RunScenario("e2e-custom", e2eBench[:1], e2eInsts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != 1 || len(res.IPC[0]) != 1 || res.IPC[0][0] <= 0 {
+		t.Fatalf("custom sweep broken: %+v", res.IPC)
+	}
+}
+
+func caseStaticTables(t *testing.T) {
+	t1 := samielsq.Table1()
+	if len(t1.Rows) != 8 || !strings.Contains(t1.String(), "8KB") {
+		t.Fatal("Table 1 broken")
+	}
+	d := samielsq.Delays()
+	if len(d.Rows) < 6 || !strings.Contains(d.String(), "SharedLSQ") {
+		t.Fatal("delay analysis broken")
+	}
+	if !strings.Contains(samielsq.Tables456(), "452") {
+		t.Fatal("Tables 4/5/6 rendering broken")
+	}
+}
+
+func caseDeterminism(t *testing.T) {
+	serial := samielsq.NewBatch(1).Figure56(e2eBench, e2eInsts())
+	wide := samielsq.NewBatch(4).Figure56(e2eBench, e2eInsts())
+	if serial.String() != wide.String() {
+		t.Error("worker count changed figure output")
+	}
+	a := samielsq.Compare("gzip", e2eInsts())
+	b := samielsq.Compare("gzip", e2eInsts())
+	if a.Conventional.IPC != b.Conventional.IPC || a.SAMIE.IPC != b.SAMIE.IPC {
+		t.Error("repeated Compare not deterministic")
+	}
+}
+
+func caseKeyCanonicalization(t *testing.T) {
+	b := samielsq.NewBatch(1)
+	insts := e2eInsts()
+	r1 := b.Run(samielsq.RunSpec{Benchmark: "gzip", Insts: insts, Model: 0})
+	r2 := b.Run(samielsq.RunSpec{Benchmark: "gzip", Insts: insts, Model: 0, ConvEntries: 128})
+	if st := b.Stats(); st.Executed != 1 || st.Hits != 1 {
+		t.Fatalf("equivalent spellings not coalesced: %+v", st)
+	}
+	if r1.CPU != r2.CPU {
+		t.Error("coalesced runs returned different results")
+	}
+}

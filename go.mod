@@ -1,0 +1,3 @@
+module samielsq
+
+go 1.24

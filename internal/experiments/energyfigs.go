@@ -35,13 +35,20 @@ type EnergyResult struct {
 	Insts uint64
 }
 
-// Energy runs the conventional/SAMIE pair per benchmark and extracts
-// every energy and active-area series of §4.4-§4.5.
+// Energy reproduces Figures 7-12 through a fresh single-use batch.
 func Energy(benchmarks []string, insts uint64) EnergyResult {
-	conv := RunAll(benchmarks, func(b string) RunSpec {
+	return NewBatch(0).Energy(benchmarks, insts)
+}
+
+// Energy runs the conventional/SAMIE pair per benchmark and extracts
+// every energy and active-area series of §4.4-§4.5. The pair is the
+// same one Figure56 uses, so a shared batch simulates it once for
+// both harnesses.
+func (bt *Batch) Energy(benchmarks []string, insts uint64) EnergyResult {
+	conv := bt.RunAll(benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelConventional}
 	})
-	samie := RunAll(benchmarks, func(b string) RunSpec {
+	samie := bt.RunAll(benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE}
 	})
 	res := EnergyResult{Insts: insts}

@@ -1,0 +1,146 @@
+// Package engine provides the shared execution layer for the
+// experiment harnesses: a concurrent scheduler that memoizes the
+// result of each keyed job, coalesces concurrent requests for the same
+// key onto a single execution (singleflight), and bounds the number of
+// jobs running at once with a worker pool.
+//
+// The scheduler is generic and knows nothing about simulations; the
+// experiments package keys each RunSpec canonically and submits the
+// simulation as the job. One Scheduler shared across every figure and
+// table harness guarantees each distinct simulation executes exactly
+// once per batch, however many harnesses request it and in whatever
+// order.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is the scheduler's request accounting.
+type Stats struct {
+	Requests int64 // total Do calls
+	Executed int64 // jobs actually run (distinct keys)
+	Hits     int64 // requests served from cache or coalesced onto an in-flight run
+}
+
+// HitRate returns Hits/Requests, or 0 with no requests.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// Scheduler executes keyed jobs at most once each, with at most
+// `workers` jobs running concurrently. Results stay cached for the
+// scheduler's lifetime, so it also acts as the batch's run cache.
+type Scheduler[K comparable, V any] struct {
+	slots chan struct{}
+
+	mu   sync.Mutex
+	jobs map[K]*job[V]
+
+	requests atomic.Int64
+	executed atomic.Int64
+	hits     atomic.Int64
+}
+
+type job[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked any // non-nil if run() panicked; re-raised in every caller
+}
+
+// New returns a scheduler bounded to `workers` concurrent jobs;
+// workers <= 0 means GOMAXPROCS.
+func New[K comparable, V any](workers int) *Scheduler[K, V] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler[K, V]{
+		slots: make(chan struct{}, workers),
+		jobs:  make(map[K]*job[V]),
+	}
+}
+
+// Do returns the memoized result for key, running `run` if and only if
+// this is the first request for it. Concurrent callers with the same
+// key block until the single execution finishes and then share its
+// result. If run panics, the panic is re-raised in every caller for
+// the key (present and future) and the worker slot is released, so
+// one bad job cannot poison the pool. `run` must not call Do on the
+// same scheduler (jobs holding worker slots waiting on other jobs can
+// deadlock the pool).
+func (s *Scheduler[K, V]) Do(key K, run func() V) V {
+	s.requests.Add(1)
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		<-j.done
+		if j.panicked != nil {
+			panic(j.panicked)
+		}
+		return j.val
+	}
+	j := &job[V]{done: make(chan struct{})}
+	s.jobs[key] = j
+	s.mu.Unlock()
+
+	s.slots <- struct{}{}
+	func() {
+		defer func() {
+			j.panicked = recover()
+			<-s.slots
+			s.executed.Add(1)
+			close(j.done)
+		}()
+		j.val = run()
+	}()
+	if j.panicked != nil {
+		panic(j.panicked)
+	}
+	return j.val
+}
+
+// Cached returns the completed result for key, if any. It never blocks
+// on an in-flight job and does not count toward request stats.
+func (s *Scheduler[K, V]) Cached(key K) (V, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[key]
+	s.mu.Unlock()
+	if !ok {
+		return *new(V), false
+	}
+	select {
+	case <-j.done:
+		if j.panicked != nil {
+			return *new(V), false
+		}
+		return j.val, true
+	default:
+		return *new(V), false
+	}
+}
+
+// Len returns the number of distinct keys seen (completed or
+// in-flight).
+func (s *Scheduler[K, V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Workers returns the concurrency bound.
+func (s *Scheduler[K, V]) Workers() int { return cap(s.slots) }
+
+// Stats returns a snapshot of the request accounting.
+func (s *Scheduler[K, V]) Stats() Stats {
+	return Stats{
+		Requests: s.requests.Load(),
+		Executed: s.executed.Load(),
+		Hits:     s.hits.Load(),
+	}
+}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoMemoizes verifies the exactly-once contract: any number of
+// requests for one key execute the job a single time and all observe
+// the same value.
+func TestDoMemoizes(t *testing.T) {
+	s := New[string, int](4)
+	var runs atomic.Int32
+	const callers = 64
+	results := make([]int, callers)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.Do("k", func() int {
+				return int(runs.Add(1)) * 100
+			})
+		}(i)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("job ran %d times, want exactly 1", got)
+	}
+	for i, r := range results {
+		if r != 100 {
+			t.Fatalf("caller %d got %d, want 100", i, r)
+		}
+	}
+	st := s.Stats()
+	if st.Requests != callers || st.Executed != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats %+v, want requests=%d executed=1 hits=%d", st, callers, callers-1)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts verifies that the result set is a
+// pure function of the keys, independent of pool size and submission
+// concurrency.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	compute := func(k int) int { return k*k + 7 }
+	const keys = 200
+	run := func(workers int) []int {
+		s := New[int, int](workers)
+		out := make([]int, keys)
+		var wg sync.WaitGroup
+		for k := 0; k < keys; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				// Every key requested three times from racing goroutines.
+				for i := 0; i < 3; i++ {
+					out[k] = s.Do(k%50, func() int { return compute(k % 50) })
+				}
+			}(k)
+		}
+		wg.Wait()
+		if st := s.Stats(); st.Executed != 50 {
+			t.Fatalf("workers=%d executed %d distinct jobs, want 50", workers, st.Executed)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8, 32} {
+		if got := run(workers); !equalInts(got, serial) {
+			t.Fatalf("workers=%d results differ from serial run", workers)
+		}
+	}
+}
+
+// TestWorkerBound verifies the pool never runs more than `workers`
+// jobs at once.
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	s := New[int, int](workers)
+	var inFlight, peak atomic.Int32
+	var wg sync.WaitGroup
+	for k := 0; k < 100; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s.Do(k, func() int {
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				defer inFlight.Add(-1)
+				return k
+			})
+		}(k)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+	if s.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", s.Workers(), workers)
+	}
+}
+
+// TestCached verifies non-blocking cache reads.
+func TestCached(t *testing.T) {
+	s := New[string, int](1)
+	if _, ok := s.Cached("missing"); ok {
+		t.Fatal("Cached hit on a key never requested")
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do("slow", func() int { close(started); <-release; return 9 })
+	<-started
+	if _, ok := s.Cached("slow"); ok {
+		t.Fatal("Cached returned an in-flight job")
+	}
+	close(release)
+	if v := s.Do("slow", func() int { t.Error("re-ran a cached job"); return 0 }); v != 9 {
+		t.Fatalf("got %d, want 9", v)
+	}
+	if v, ok := s.Cached("slow"); !ok || v != 9 {
+		t.Fatalf("Cached = %d,%v after completion, want 9,true", v, ok)
+	}
+}
+
+// TestStressConcurrency hammers the scheduler from many goroutines
+// over a shared key space; run under -race this validates the
+// synchronization of the job map, the singleflight handoff and the
+// stats counters.
+func TestStressConcurrency(t *testing.T) {
+	s := New[string, string](8)
+	const goroutines, iters, keySpace = 32, 200, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("key-%d", (g*iters+i)%keySpace)
+				want := k + "!"
+				if got := s.Do(k, func() string { return k + "!" }); got != want {
+					t.Errorf("Do(%q) = %q, want %q", k, got, want)
+					return
+				}
+				if v, ok := s.Cached(k); ok && v != want {
+					t.Errorf("Cached(%q) = %q, want %q", k, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Executed != keySpace {
+		t.Fatalf("executed %d, want %d", st.Executed, keySpace)
+	}
+	if st.Requests != goroutines*iters || st.Hits != st.Requests-keySpace {
+		t.Fatalf("stats %+v inconsistent", st)
+	}
+	if r := st.HitRate(); r <= 0.9 {
+		t.Fatalf("hit rate %.3f suspiciously low", r)
+	}
+}
+
+// TestPanicSafety verifies a panicking job releases its worker slot,
+// re-raises in present and future callers, and leaves the scheduler
+// usable for other keys.
+func TestPanicSafety(t *testing.T) {
+	s := New[string, int](1)
+	mustPanic := func(f func()) (r any) {
+		defer func() { r = recover() }()
+		f()
+		return nil
+	}
+	if r := mustPanic(func() { s.Do("bad", func() int { panic("boom") }) }); r != "boom" {
+		t.Fatalf("executor recovered %v, want boom", r)
+	}
+	// A later caller for the same key sees the same panic...
+	if r := mustPanic(func() { s.Do("bad", func() int { return 1 }) }); r != "boom" {
+		t.Fatalf("waiter recovered %v, want boom", r)
+	}
+	// ...Cached does not report it as a value...
+	if _, ok := s.Cached("bad"); ok {
+		t.Fatal("Cached returned a panicked job as a value")
+	}
+	// ...and the single worker slot was released: other keys still run.
+	if v := s.Do("good", func() int { return 42 }); v != 42 {
+		t.Fatalf("scheduler unusable after panic: got %d", v)
+	}
+	if st := s.Stats(); st.Executed != 2 {
+		t.Fatalf("executed %d, want 2 (panicked job counts as executed)", st.Executed)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

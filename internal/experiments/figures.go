@@ -34,11 +34,16 @@ type Figure1Result struct {
 	Insts uint64
 }
 
+// Figure1 reproduces Figure 1 through a fresh single-use batch.
+func Figure1(benchmarks []string, insts uint64) Figure1Result {
+	return NewBatch(0).Figure1(benchmarks, insts)
+}
+
 // Figure1 reproduces Figure 1: ARB IPC relative to an ideal unbounded
 // LSQ for the eight geometries, with the normal (128) and halved (64)
 // in-flight caps.
-func Figure1(benchmarks []string, insts uint64) Figure1Result {
-	base := RunAll(benchmarks, func(b string) RunSpec {
+func (bt *Batch) Figure1(benchmarks []string, insts uint64) Figure1Result {
+	base := bt.RunAll(benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelUnbounded}
 	})
 	baseIPC := make(map[string]float64, len(base))
@@ -49,7 +54,7 @@ func Figure1(benchmarks []string, insts uint64) Figure1Result {
 	for _, cfg := range Figure1Configs() {
 		row := Figure1Row{Config: cfg}
 		for i, inflight := range [...]int{128, 64} {
-			runs := RunAll(benchmarks, func(b string) RunSpec {
+			runs := bt.RunAll(benchmarks, func(b string) RunSpec {
 				return RunSpec{
 					Benchmark: b, Insts: insts, Model: ModelARB,
 					ARBBanks: cfg.Banks, ARBAddrs: cfg.Addrs, ARBInflight: inflight,
@@ -98,10 +103,15 @@ type Figure3Result struct {
 	Insts uint64
 }
 
+// Figure3 reproduces Figure 3 through a fresh single-use batch.
+func Figure3(benchmarks []string, insts uint64) Figure3Result {
+	return NewBatch(0).Figure3(benchmarks, insts)
+}
+
 // Figure3 reproduces Figure 3: average occupancy of an unbounded
 // SharedLSQ for DistribLSQ geometries 128x1, 64x2 and 32x4 (8 slots
 // per entry).
-func Figure3(benchmarks []string, insts uint64) Figure3Result {
+func (bt *Batch) Figure3(benchmarks []string, insts uint64) Figure3Result {
 	geoms := []struct{ banks, entries int }{{128, 1}, {64, 2}, {32, 4}}
 	res := Figure3Result{Insts: insts}
 	rows := make(map[string]*Figure3Row, len(benchmarks))
@@ -113,7 +123,7 @@ func Figure3(benchmarks []string, insts uint64) Figure3Result {
 		cfg.Banks, cfg.EntriesPerBank = g.banks, g.entries
 		cfg.SharedUnbounded = true
 		cfgCopy := cfg
-		runs := RunAll(benchmarks, func(b string) RunSpec {
+		runs := bt.RunAll(benchmarks, func(b string) RunSpec {
 			return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE, SAMIE: &cfgCopy}
 		})
 		for _, r := range runs {
@@ -157,8 +167,13 @@ type Figure4Result struct {
 	Insts    uint64
 }
 
-// Figure4 reproduces Figure 4, sweeping the SharedLSQ size.
+// Figure4 reproduces Figure 4 through a fresh single-use batch.
 func Figure4(benchmarks []string, insts uint64, sizes []int) Figure4Result {
+	return NewBatch(0).Figure4(benchmarks, insts, sizes)
+}
+
+// Figure4 reproduces Figure 4, sweeping the SharedLSQ size.
+func (bt *Batch) Figure4(benchmarks []string, insts uint64, sizes []int) Figure4Result {
 	if len(sizes) == 0 {
 		sizes = []int{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60}
 	}
@@ -176,7 +191,7 @@ func Figure4(benchmarks []string, insts uint64, sizes []int) Figure4Result {
 			cfg.SharedEntries = 0
 		}
 		cfgCopy := cfg
-		runs := RunAll(benchmarks, func(b string) RunSpec {
+		runs := bt.RunAll(benchmarks, func(b string) RunSpec {
 			return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE, SAMIE: &cfgCopy}
 		})
 		for _, r := range runs {
@@ -228,14 +243,20 @@ type Figure56Result struct {
 	Insts uint64
 }
 
+// Figure56 reproduces Figures 5 and 6 through a fresh single-use
+// batch.
+func Figure56(benchmarks []string, insts uint64) Figure56Result {
+	return NewBatch(0).Figure56(benchmarks, insts)
+}
+
 // Figure56 reproduces Figure 5 (% IPC loss of SAMIE-LSQ vs the
 // 128-entry conventional LSQ) and Figure 6 (deadlock-avoidance flushes
 // per million cycles).
-func Figure56(benchmarks []string, insts uint64) Figure56Result {
-	conv := RunAll(benchmarks, func(b string) RunSpec {
+func (bt *Batch) Figure56(benchmarks []string, insts uint64) Figure56Result {
+	conv := bt.RunAll(benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelConventional}
 	})
-	samie := RunAll(benchmarks, func(b string) RunSpec {
+	samie := bt.RunAll(benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE}
 	})
 	res := Figure56Result{Insts: insts}

@@ -13,6 +13,12 @@ var pressure = []string{"ammp", "apsi", "art", "facerec", "fma3d", "mgrid", "mcf
 
 const figInsts = 80_000
 
+// figBatch is shared by every figure-shape test in this file: the
+// Figure 4 sweep's 8-entry point, Figure 5/6 and the energy figures
+// all need the same paper-config runs, so the batch simulates each of
+// them once across the whole test binary.
+var figBatch = NewBatch(0)
+
 // TestFigure3Shape verifies the paper's Figure 3 claims: concentrated
 // programs need many SharedLSQ entries, integer programs almost none,
 // and 32x4 needs (far) fewer than 128x1.
@@ -20,7 +26,7 @@ func TestFigure3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	f := Figure3(pressure, figInsts)
+	f := figBatch.Figure3(pressure, figInsts)
 	occ := map[string]Figure3Row{}
 	for _, r := range f.Rows {
 		occ[r.Benchmark] = r
@@ -50,7 +56,7 @@ func TestFigure4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	f := Figure4(pressure, figInsts, []int{0, 4, 8, 16, 32})
+	f := figBatch.Figure4(pressure, figInsts, []int{0, 4, 8, 16, 32})
 	for i := 1; i < len(f.Programs); i++ {
 		if f.Programs[i] < f.Programs[i-1] {
 			t.Fatalf("program count not monotonic: %v", f.Programs)
@@ -72,7 +78,7 @@ func TestFigure56Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	f := Figure56(pressure, figInsts)
+	f := figBatch.Figure56(pressure, figInsts)
 	rows := map[string]Figure56Row{}
 	for _, r := range f.Rows {
 		rows[r.Benchmark] = r
@@ -108,7 +114,7 @@ func TestEnergyShape(t *testing.T) {
 	// A representative mix: the pressure programs alone understate the
 	// savings because they are the paper's worst cases (Figure 8).
 	suite := append([]string{"applu", "equake", "galgel", "wupwise", "crafty", "gcc", "vortex", "parser"}, pressure...)
-	e := Energy(suite, figInsts)
+	e := figBatch.Energy(suite, figInsts)
 	if s := e.LSQSavings(); s < 0.45 {
 		t.Errorf("LSQ savings %.1f%% too low (paper 82%%)", s*100)
 	}
@@ -150,7 +156,7 @@ func TestFigure1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	f := Figure1([]string{"facerec", "fma3d", "swim", "gzip"}, figInsts)
+	f := figBatch.Figure1([]string{"facerec", "fma3d", "swim", "gzip"}, figInsts)
 	first, last := f.Rows[0], f.Rows[len(f.Rows)-1]
 	if first.RelIPC < 0.90 {
 		t.Errorf("1x128 ARB keeps only %.1f%% of unbounded IPC", first.RelIPC*100)

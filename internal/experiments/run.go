@@ -3,6 +3,13 @@
 // harness runs the necessary simulations and returns a result struct
 // that renders to the same rows/series the paper reports.
 //
+// Harnesses execute through a shared Batch: a memoizing scheduler
+// (internal/experiments/engine) that keys every RunSpec canonically
+// and runs each distinct simulation exactly once per batch, however
+// many figures request it. Figure 5/6, the energy figures and Compare
+// all share the same conventional/SAMIE pair per benchmark, so a
+// whole-suite batch executes a fraction of the naive run count.
+//
 // Simulation length is configurable: the paper simulates 100M
 // instructions per benchmark after warm-up; these harnesses default to
 // a smaller, deterministic sample that preserves the qualitative
@@ -10,12 +17,13 @@
 package experiments
 
 import (
-	"runtime"
+	"fmt"
 	"sync"
 
 	"samielsq/internal/core"
 	"samielsq/internal/cpu"
 	"samielsq/internal/energy"
+	"samielsq/internal/experiments/engine"
 	"samielsq/internal/lsq"
 	"samielsq/internal/mem"
 	"samielsq/internal/tlb"
@@ -58,6 +66,8 @@ type RunSpec struct {
 }
 
 // RunResult bundles everything a harness needs from one simulation.
+// Results delivered through a Batch are shared between consumers:
+// treat the Meter, Hier and stats as read-only.
 type RunResult struct {
 	Spec  RunSpec
 	CPU   cpu.Result
@@ -67,14 +77,73 @@ type RunResult struct {
 	Conv  lsq.OccupancyStats // populated for ModelConventional
 }
 
-// Run executes one simulation per the spec.
-func Run(spec RunSpec) RunResult {
+// Normalize fills the spec's defaults and zeroes every field the
+// selected model ignores, so two specs describing the same simulation
+// canonicalize to the same value. The SAMIE and CPU pointers are
+// materialized to concrete configurations.
+func Normalize(spec RunSpec) RunSpec {
 	if spec.Insts == 0 {
 		spec.Insts = DefaultInsts
 	}
 	if spec.Warmup == 0 {
 		spec.Warmup = spec.Insts / 2
 	}
+	ccfg := cpu.PaperConfig()
+	if spec.CPU != nil {
+		ccfg = *spec.CPU
+	}
+	spec.CPU = &ccfg
+
+	switch spec.Model {
+	case ModelConventional:
+		if spec.ConvEntries == 0 {
+			spec.ConvEntries = 128
+		}
+		spec.ARBBanks, spec.ARBAddrs, spec.ARBInflight = 0, 0, 0
+		spec.SAMIE = nil
+	case ModelUnbounded:
+		spec.ConvEntries = 0
+		spec.ARBBanks, spec.ARBAddrs, spec.ARBInflight = 0, 0, 0
+		spec.SAMIE = nil
+	case ModelARB:
+		spec.ConvEntries = 0
+		spec.SAMIE = nil
+	case ModelSAMIE:
+		spec.ConvEntries = 0
+		spec.ARBBanks, spec.ARBAddrs, spec.ARBInflight = 0, 0, 0
+		scfg := core.PaperConfig()
+		if spec.SAMIE != nil {
+			scfg = *spec.SAMIE
+		}
+		spec.SAMIE = &scfg
+	default:
+		panic("experiments: unknown model kind")
+	}
+	return spec
+}
+
+// Key returns the canonical cache key for a spec: two specs share a
+// key exactly when they describe the same simulation.
+func Key(spec RunSpec) string { return keyOf(Normalize(spec)) }
+
+// keyOf renders the key of an already-normalized spec.
+func keyOf(n RunSpec) string {
+	var scfg core.Config
+	if n.SAMIE != nil {
+		scfg = *n.SAMIE
+	}
+	return fmt.Sprintf("b=%s|m=%d|i=%d|w=%d|conv=%d|arb=%d.%d.%d|samie=%+v|cpu=%+v",
+		n.Benchmark, n.Model, n.Insts, n.Warmup,
+		n.ConvEntries, n.ARBBanks, n.ARBAddrs, n.ARBInflight,
+		scfg, *n.CPU)
+}
+
+// Run executes one simulation per the spec, bypassing any cache. Use a
+// Batch to share and memoize runs across harnesses.
+func Run(spec RunSpec) RunResult { return runNormalized(Normalize(spec)) }
+
+// runNormalized executes an already-normalized spec.
+func runNormalized(spec RunSpec) RunResult {
 	p := trace.MustPersonality(spec.Benchmark)
 	meter := energy.NewMeter()
 
@@ -83,33 +152,19 @@ func Run(spec RunSpec) RunResult {
 	var conv *lsq.Conventional
 	switch spec.Model {
 	case ModelConventional:
-		entries := spec.ConvEntries
-		if entries == 0 {
-			entries = 128
-		}
-		conv = lsq.NewConventional(entries, meter)
+		conv = lsq.NewConventional(spec.ConvEntries, meter)
 		model = conv
 	case ModelUnbounded:
 		model = lsq.NewUnbounded()
 	case ModelARB:
 		model = lsq.NewARB(spec.ARBBanks, spec.ARBAddrs, spec.ARBInflight)
 	case ModelSAMIE:
-		cfg := core.PaperConfig()
-		if spec.SAMIE != nil {
-			cfg = *spec.SAMIE
-		}
-		samie = core.New(cfg, meter)
+		samie = core.New(*spec.SAMIE, meter)
 		model = samie
-	default:
-		panic("experiments: unknown model kind")
 	}
 
-	ccfg := cpu.PaperConfig()
-	if spec.CPU != nil {
-		ccfg = *spec.CPU
-	}
 	hier := mem.NewPaper()
-	c := cpu.New(ccfg, trace.NewGenerator(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
+	c := cpu.New(*spec.CPU, trace.NewGenerator(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
 	res := RunResult{Spec: spec, Meter: meter}
 	res.CPU = c.RunWarm(spec.Warmup, spec.Insts)
 	res.Hier = hier
@@ -122,24 +177,63 @@ func Run(spec RunSpec) RunResult {
 	return res
 }
 
-// RunAll executes one simulation per benchmark in parallel (results
-// are deterministic per benchmark; parallelism only reorders wall
-// time). build constructs the spec for each benchmark name.
-func RunAll(benchmarks []string, build func(bench string) RunSpec) []RunResult {
+// Batch is a shared simulation run: a memoizing scheduler over
+// canonically-keyed RunSpecs with a bounded worker pool. All harness
+// methods on a Batch share one run cache, so a spec requested by
+// several figures simulates exactly once. A Batch is safe for
+// concurrent use; results are deterministic regardless of worker
+// count.
+type Batch struct {
+	sched *engine.Scheduler[string, RunResult]
+}
+
+// NewBatch returns a batch bounded to `workers` concurrent
+// simulations; workers <= 0 means GOMAXPROCS.
+func NewBatch(workers int) *Batch {
+	return &Batch{sched: engine.New[string, RunResult](workers)}
+}
+
+// Run returns the memoized result for spec, simulating it only if this
+// batch has not seen an equivalent spec before.
+func (b *Batch) Run(spec RunSpec) RunResult {
+	n := Normalize(spec)
+	return b.sched.Do(keyOf(n), func() RunResult { return runNormalized(n) })
+}
+
+// RunAll executes one simulation per benchmark through the batch
+// (results are deterministic per benchmark; parallelism only reorders
+// wall time). build constructs the spec for each benchmark name.
+func (b *Batch) RunAll(benchmarks []string, build func(bench string) RunSpec) []RunResult {
 	out := make([]RunResult, len(benchmarks))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	for i, b := range benchmarks {
+	for i, bench := range benchmarks {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, b string) {
+		go func(i int, bench string) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = Run(build(b))
-		}(i, b)
+			out[i] = b.Run(build(bench))
+		}(i, bench)
 	}
 	wg.Wait()
 	return out
+}
+
+// Stats returns the batch's scheduler accounting: how many runs were
+// requested, how many actually simulated, and how many were served
+// from the cache or coalesced onto an in-flight simulation.
+func (b *Batch) Stats() engine.Stats { return b.sched.Stats() }
+
+// DistinctRuns returns the number of distinct specs the batch has
+// seen.
+func (b *Batch) DistinctRuns() int { return b.sched.Len() }
+
+// Workers returns the batch's concurrency bound.
+func (b *Batch) Workers() int { return b.sched.Workers() }
+
+// RunAll executes one simulation per benchmark in parallel through a
+// fresh single-use batch. Kept for callers that do not share runs
+// across harnesses; prefer NewBatch + the Batch methods.
+func RunAll(benchmarks []string, build func(bench string) RunSpec) []RunResult {
+	return NewBatch(0).RunAll(benchmarks, build)
 }
 
 // Benchmarks returns the benchmark list (re-exported for cmd tools).

@@ -5,22 +5,24 @@ import "testing"
 // TestSmokeStack runs the full stack (trace -> CPU -> LSQ models ->
 // energy) on a few representative benchmarks and checks coarse sanity
 // invariants; detailed behaviour is covered by the per-package tests
-// and the figure tests.
+// and the figure tests. Under -short the budget shrinks so the smoke
+// coverage survives in fast runs.
 func TestSmokeStack(t *testing.T) {
+	insts := uint64(60_000)
 	if testing.Short() {
-		t.Skip("full-stack smoke test")
+		insts = 20_000
 	}
 	for _, bench := range []string{"gzip", "ammp", "swim", "mcf", "facerec"} {
 		bench := bench
 		t.Run(bench, func(t *testing.T) {
 			t.Parallel()
-			conv := Run(RunSpec{Benchmark: bench, Model: ModelConventional, Insts: 60_000})
-			samie := Run(RunSpec{Benchmark: bench, Model: ModelSAMIE, Insts: 60_000})
+			conv := Run(RunSpec{Benchmark: bench, Model: ModelConventional, Insts: insts})
+			samie := Run(RunSpec{Benchmark: bench, Model: ModelSAMIE, Insts: insts})
 
-			if conv.CPU.Committed < 60_000 {
+			if conv.CPU.Committed < insts {
 				t.Fatalf("conventional committed %d < requested", conv.CPU.Committed)
 			}
-			if samie.CPU.Committed < 60_000 {
+			if samie.CPU.Committed < insts {
 				t.Fatalf("samie committed %d < requested", samie.CPU.Committed)
 			}
 			if conv.CPU.IPC <= 0.1 || conv.CPU.IPC > 8 {

@@ -49,7 +49,58 @@ type (
 	// LSQModel is the load/store-queue abstraction; Conventional, ARB,
 	// Unbounded and SAMIE implement it.
 	LSQModel = lsq.Model
+
+	// Batch is the shared simulation engine: a memoizing scheduler that
+	// keys each RunSpec canonically and executes every distinct
+	// simulation exactly once per batch with a bounded worker pool.
+	Batch = experiments.Batch
+	// RunSpec describes one simulation for the engine.
+	RunSpec = experiments.RunSpec
+	// RunResult is one memoized simulation outcome.
+	RunResult = experiments.RunResult
+	// SuiteResult bundles every paper artefact from one shared batch.
+	SuiteResult = experiments.SuiteResult
+	// Scenario is a named registered sweep; see RegisterScenario.
+	Scenario = experiments.Scenario
+	// ScenarioVariant is one named column of a scenario sweep.
+	ScenarioVariant = experiments.Variant
+	// ScenarioResult is the outcome of one scenario sweep.
+	ScenarioResult = experiments.ScenarioResult
+	// ModelKind selects the LSQ organization of a RunSpec.
+	ModelKind = experiments.ModelKind
 )
+
+// The LSQ organizations a RunSpec can select.
+const (
+	ModelConventional = experiments.ModelConventional
+	ModelUnbounded    = experiments.ModelUnbounded
+	ModelARB          = experiments.ModelARB
+	ModelSAMIE        = experiments.ModelSAMIE
+)
+
+// NewBatch returns a shared-run batch bounded to `workers` concurrent
+// simulations; workers <= 0 means GOMAXPROCS.
+func NewBatch(workers int) *Batch { return experiments.NewBatch(workers) }
+
+// RunSuite regenerates the paper's full evaluation — Figures 1, 3, 4,
+// 5/6 and 7-12 plus the static tables — through one shared batch, so
+// every distinct simulation executes exactly once across all figures.
+func RunSuite(benchmarks []string, insts uint64) SuiteResult {
+	return experiments.RunSuite(benchmarks, insts)
+}
+
+// ScenarioNames lists the registered scenario sweeps.
+func ScenarioNames() []string { return experiments.ScenarioNames() }
+
+// RegisterScenario adds a named sweep to the registry; new workloads
+// are one registry entry, not a new harness.
+func RegisterScenario(s Scenario) { experiments.RegisterScenario(s) }
+
+// RunScenario evaluates a registered scenario sweep over the
+// benchmarks through a fresh shared batch.
+func RunScenario(name string, benchmarks []string, insts uint64) (ScenarioResult, error) {
+	return experiments.RunScenario(name, benchmarks, insts)
+}
 
 // PaperSAMIEConfig returns the Table 3 SAMIE-LSQ configuration
 // (64 banks x 2 entries x 8 slots, 8 SharedLSQ entries, 64 AddrBuffer
@@ -88,12 +139,21 @@ type ComparisonResult struct {
 
 // Compare runs benchmark for insts measured instructions (after an
 // equal warm-up) under the paper's baseline and the SAMIE-LSQ, and
-// reports the headline comparison.
+// reports the headline comparison. It executes through a fresh Batch;
+// use CompareIn to share the pair of runs with other harnesses.
 func Compare(benchmark string, insts uint64) ComparisonResult {
-	conv := experiments.Run(experiments.RunSpec{
+	return CompareIn(NewBatch(0), benchmark, insts)
+}
+
+// CompareIn is Compare through a caller-provided batch: the
+// conventional/SAMIE pair is memoized, so a batch that has already
+// produced Figure56 or the energy figures serves both runs from
+// cache.
+func CompareIn(b *Batch, benchmark string, insts uint64) ComparisonResult {
+	conv := b.Run(experiments.RunSpec{
 		Benchmark: benchmark, Insts: insts, Model: experiments.ModelConventional,
 	})
-	sam := experiments.Run(experiments.RunSpec{
+	sam := b.Run(experiments.RunSpec{
 		Benchmark: benchmark, Insts: insts, Model: experiments.ModelSAMIE,
 	})
 	res := ComparisonResult{
