@@ -14,6 +14,14 @@
 //	samie-bench -list-scenarios      # named sweeps from the registry
 //	samie-bench -scenario models     # run a registered sweep
 //	samie-bench -workers 4 -stats    # bound the pool, print cache stats
+//	samie-bench -cachedir ""         # disable the on-disk run cache
+//	samie-bench -profile             # measure hot-path throughput
+//	samie-bench -profile -baseline BENCH_hotpath.json   # CI regression gate
+//
+// Results are spilled to an on-disk cache (content-addressed by the
+// canonical RunSpec key, default <user cache dir>/samielsq, override
+// with -cachedir, disable with -cachedir "") so repeated invocations
+// reuse finished simulations across processes.
 package main
 
 import (
@@ -42,11 +50,44 @@ func main() {
 	table1 := flag.Bool("table1", false, "regenerate Table 1 only")
 	delays := flag.Bool("delays", false, "regenerate the §3.6 delay analysis only")
 	tables456 := flag.Bool("tables456", false, "print Tables 4/5/6 and model cross-checks only")
+	cachedir := flag.String("cachedir", "auto", `on-disk run cache directory ("auto" = <user cache dir>/samielsq, "" disables)`)
+	profile := flag.Bool("profile", false, "measure hot-path throughput (insts/sec per model) and exit")
+	profileInsts := flag.Uint64("profile-insts", 50_000, "measured instructions per profile case")
+	profileReps := flag.Int("profile-reps", 3, "repetitions per profile case (best wins)")
+	profileLabel := flag.String("profile-label", "local", "label for the recorded profile session")
+	benchOut := flag.String("bench-out", "", "append the profile session to this BENCH_*.json file")
+	baseline := flag.String("baseline", "", "compare the profile session against this BENCH_*.json (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional throughput regression vs -baseline")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
+	}
+	if *profile {
+		entry := runProfile(*profileInsts, *profileReps, *profileLabel)
+		if *benchOut != "" {
+			if err := writeBenchOut(*benchOut, entry); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("profile session appended to %s\n", *benchOut)
+		}
+		if *baseline != "" {
+			failures, err := compareBaseline(entry, *baseline, *tolerance)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(failures) > 0 {
+				for _, f := range failures {
+					fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("all cases within %.0f%% of baseline\n", *tolerance*100)
+		}
+		return
 	}
 	if *listScenarios {
 		for _, name := range experiments.ScenarioNames() {
@@ -71,8 +112,27 @@ func main() {
 	}
 
 	// One batch shared by every figure and scenario this invocation
-	// renders.
-	batch := experiments.NewBatch(*workers)
+	// renders, spilling results to disk unless -cachedir "" asked not
+	// to (a cache failure degrades to the uncached batch).
+	var batch *experiments.Batch
+	dir := *cachedir
+	if dir == "auto" {
+		var err error
+		if dir, err = experiments.DefaultCacheDir(); err != nil {
+			fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
+			dir = ""
+		}
+	}
+	if dir != "" {
+		var err error
+		if batch, err = experiments.NewBatchWithCache(*workers, dir); err != nil {
+			fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
+			batch, dir = nil, ""
+		}
+	}
+	if batch == nil {
+		batch = experiments.NewBatch(*workers)
+	}
 
 	specific := len(figs) > 0 || len(scenarios) > 0 || *table1 || *delays || *tables456
 	want := func(f string) bool {
@@ -129,5 +189,9 @@ func main() {
 		st := batch.Stats()
 		fmt.Printf("shared batch: %d simulations executed, %d of %d requests served from cache (%.0f%% reuse), %d workers\n",
 			st.Executed, st.Hits, st.Requests, 100*st.HitRate(), batch.Workers())
+		if dir != "" {
+			ds := batch.DiskStats()
+			fmt.Printf("disk cache %s: %d hits, %d misses, %d writes\n", dir, ds.Hits, ds.Misses, ds.Writes)
+		}
 	}
 }

@@ -84,7 +84,9 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// location identifies where an instruction sits.
+// location identifies where an instruction sits. It is packed into the
+// tracker Op's Loc field (kind, bank, entry, slot) so the hot path
+// needs no side map from sequence numbers to placements.
 type location struct {
 	kind  locKind
 	bank  int // DistribLSQ bank (kindDistrib only)
@@ -100,6 +102,19 @@ const (
 	locShared
 	locBuffer
 )
+
+// locOf unpacks op's placement; ok is false when op has none.
+func locOf(op *lsq.Op) (location, bool) {
+	if op == nil || op.Loc[0] < 0 {
+		return location{}, false
+	}
+	return location{
+		kind:  locKind(op.Loc[0]),
+		bank:  op.Loc[1],
+		entry: op.Loc[2],
+		slot:  op.Loc[3],
+	}, true
+}
 
 // slot is one instruction within an entry.
 type slot struct {
@@ -142,6 +157,36 @@ type abEntry struct {
 	size   uint8
 }
 
+// abRing is the AddrBuffer FIFO: a fixed-capacity ring so the
+// insert/drain cycle never reallocates.
+type abRing struct {
+	buf  []abEntry
+	head int
+	n    int
+}
+
+func (r *abRing) len() int       { return r.n }
+func (r *abRing) front() abEntry { return r.buf[r.head] }
+
+func (r *abRing) push(e abEntry) {
+	idx := r.head + r.n
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	r.buf[idx] = e
+	r.n++
+}
+
+func (r *abRing) pop() {
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+func (r *abRing) clear() { r.head, r.n = 0, 0 }
+
 // Stats aggregates SAMIE-specific statistics.
 type Stats struct {
 	PlacedDistrib  uint64
@@ -183,15 +228,24 @@ type SAMIE struct {
 	cfg     Config
 	banks   [][]entry // [bank][entry]
 	shared  []entry
-	addrBuf []abEntry
+	addrBuf abRing
 	t       *lsq.Tracker
-	locs    map[uint64]location
 	meter   *energy.Meter
 	stats   Stats
 
 	lineMask uint64
 	// scratch buffers reused across calls to avoid per-event allocation
 	scratchSlots []int
+	tickBuf      []uint64
+
+	// Occupancy summaries maintained incrementally at fill/free so the
+	// per-cycle accounting is O(1) instead of a walk over every bank.
+	bankUsed        []int // valid entries per DistribLSQ bank
+	banksWithFree   int   // banks with at least one free entry
+	distribActive   int   // valid DistribLSQ entries
+	sumDistribSlots int   // Σ min(used+1, SlotsPerEntry) over valid distrib entries
+	sharedActive    int   // valid SharedLSQ entries
+	sumSharedSlots  int   // Σ min(used+1, SlotsPerEntry) over valid shared entries
 }
 
 var _ lsq.Model = (*SAMIE)(nil)
@@ -209,10 +263,12 @@ func New(cfg Config, meter *energy.Meter) *SAMIE {
 		cfg:      cfg,
 		banks:    make([][]entry, cfg.Banks),
 		t:        lsq.NewTracker(),
-		locs:     make(map[uint64]location),
 		meter:    meter,
 		lineMask: ^(uint64(cfg.LineBytes) - 1),
+		addrBuf:  abRing{buf: make([]abEntry, cfg.AddrBufferSlots)},
+		bankUsed: make([]int, cfg.Banks),
 	}
+	s.banksWithFree = cfg.Banks
 	for b := range s.banks {
 		s.banks[b] = make([]entry, cfg.EntriesPerBank)
 		for e := range s.banks[b] {
@@ -249,6 +305,16 @@ func (s *SAMIE) lineOf(addr uint64) uint64 { return addr & s.lineMask }
 
 func (s *SAMIE) bankOf(lineAddr uint64) int {
 	return int((lineAddr / uint64(s.cfg.LineBytes)) % uint64(s.cfg.Banks))
+}
+
+// activeSlots is the §4.5 active slot count of an entry with `used`
+// in-use slots: the in-use slots plus one pre-allocated, capped at the
+// entry's capacity.
+func (s *SAMIE) activeSlots(used int) int {
+	if used+1 > s.cfg.SlotsPerEntry {
+		return s.cfg.SlotsPerEntry
+	}
+	return used + 1
 }
 
 // Dispatch implements lsq.Model. The SAMIE-LSQ never stalls dispatch:
@@ -311,9 +377,27 @@ func (s *SAMIE) fillSlot(op *lsq.Op, kind locKind, bank, ei, si int) {
 		size:   op.Size,
 	}
 	e.used++
-	op.Placed = true
-	op.Buffered = false
-	s.locs[op.Seq] = location{kind: kind, bank: bank, entry: ei, slot: si}
+	if kind == locDistrib {
+		if newEntry {
+			s.distribActive++
+			s.bankUsed[bank]++
+			if s.bankUsed[bank] == s.cfg.EntriesPerBank {
+				s.banksWithFree--
+			}
+			s.sumDistribSlots += s.activeSlots(e.used)
+		} else {
+			s.sumDistribSlots += s.activeSlots(e.used) - s.activeSlots(e.used-1)
+		}
+	} else {
+		if newEntry {
+			s.sharedActive++
+			s.sumSharedSlots += s.activeSlots(e.used)
+		} else {
+			s.sumSharedSlots += s.activeSlots(e.used) - s.activeSlots(e.used-1)
+		}
+	}
+	s.t.SetPlaced(op)
+	op.Loc = [4]int{int(kind), bank, ei, si}
 	// Energy: write the age id (and the line address for new entries).
 	if kind == locDistrib {
 		s.stats.PlacedDistrib++
@@ -392,14 +476,14 @@ func (s *SAMIE) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) l
 	if op == nil {
 		return lsq.Placement{Failed: true}
 	}
-	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	s.t.SetAddress(op, addr, size)
 	s.chargeSearch(s.bankOf(s.lineOf(addr)))
 	if s.tryPlace(op) {
 		return lsq.Placement{Placed: true}
 	}
-	if len(s.addrBuf) < s.cfg.AddrBufferSlots {
-		s.addrBuf = append(s.addrBuf, abEntry{seq: seq, isLoad: isLoad, addr: addr, size: size})
-		op.Buffered = true
+	if s.addrBuf.len() < s.cfg.AddrBufferSlots {
+		s.addrBuf.push(abEntry{seq: seq, isLoad: isLoad, addr: addr, size: size})
+		s.t.SetBuffered(op)
 		s.stats.Buffered++
 		s.meter.AddrBufferInsert()
 		return lsq.Placement{Buffered: true}
@@ -412,13 +496,13 @@ func (s *SAMIE) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) l
 // AddrBuffer is a strict FIFO (§3.3), so draining stops at the first
 // element that still does not fit.
 func (s *SAMIE) Tick() []uint64 {
-	var placed []uint64
-	for len(s.addrBuf) > 0 {
-		head := s.addrBuf[0]
+	placed := s.tickBuf[:0]
+	for s.addrBuf.len() > 0 {
+		head := s.addrBuf.front()
 		op := s.t.Get(head.seq)
 		if op == nil {
 			// Flushed or otherwise gone; drop the stale element.
-			s.addrBuf = s.addrBuf[1:]
+			s.addrBuf.pop()
 			continue
 		}
 		if !s.tryPlace(op) {
@@ -430,9 +514,10 @@ func (s *SAMIE) Tick() []uint64 {
 		// when it actually leaves the buffer.
 		s.chargeSearch(s.bankOf(s.lineOf(head.addr)))
 		s.meter.AddrBufferRemove()
-		s.addrBuf = s.addrBuf[1:]
+		s.addrBuf.pop()
 		placed = append(placed, head.seq)
 	}
+	s.tickBuf = placed[:0]
 	return placed
 }
 
@@ -450,7 +535,7 @@ func (s *SAMIE) ForwardingSource(seq uint64) (uint64, bool) {
 	if ok {
 		// The load reads the store's datum from the slot and records
 		// its own.
-		loc := s.locs[seq]
+		loc, _ := locOf(s.t.Get(seq))
 		if loc.kind == locShared {
 			s.meter.SharedRWDatum()
 			s.meter.SharedRWDatum()
@@ -466,7 +551,7 @@ func (s *SAMIE) ForwardingSource(seq uint64) (uint64, bool) {
 // Dcache location (and translation), the access can skip the tag check
 // and the DTLB.
 func (s *SAMIE) Plan(seq uint64) lsq.AccessPlan {
-	loc, ok := s.locs[seq]
+	loc, ok := locOf(s.t.Get(seq))
 	if !ok || loc.kind == locBuffer || loc.kind == locNone {
 		return lsq.AccessPlan{}
 	}
@@ -505,7 +590,7 @@ func (s *SAMIE) Plan(seq uint64) lsq.AccessPlan {
 // RecordAccess implements lsq.Model: after a conventional access the
 // entry caches the physical location and the translation (§3.4).
 func (s *SAMIE) RecordAccess(seq uint64, set, way int, vpn uint64) {
-	loc, ok := s.locs[seq]
+	loc, ok := locOf(s.t.Get(seq))
 	if !ok || loc.kind == locBuffer || loc.kind == locNone {
 		return
 	}
@@ -538,7 +623,7 @@ func (s *SAMIE) NotePerformed(seq uint64) {
 		return
 	}
 	op.Performed = true
-	loc, ok := s.locs[seq]
+	loc, ok := locOf(op)
 	if !ok {
 		return
 	}
@@ -588,9 +673,8 @@ func (s *SAMIE) entryAt(loc location) *entry {
 // last slot goes.
 func (s *SAMIE) Commit(seq uint64) {
 	op := s.t.Remove(seq)
-	loc, ok := s.locs[seq]
+	loc, ok := locOf(op)
 	if ok {
-		delete(s.locs, seq)
 		if e := s.entryAt(loc); e != nil && e.valid && loc.slot < len(e.slots) && e.slots[loc.slot].valid && e.slots[loc.slot].seq == seq {
 			if op != nil && !op.IsLoad {
 				// Store datum read out on its way to the Dcache.
@@ -606,6 +690,21 @@ func (s *SAMIE) Commit(seq uint64) {
 				e.valid = false
 				e.locValid = false
 				e.vpnValid = false
+				if loc.kind == locShared {
+					s.sharedActive--
+					s.sumSharedSlots -= s.activeSlots(1)
+				} else {
+					s.distribActive--
+					s.sumDistribSlots -= s.activeSlots(1)
+					if s.bankUsed[loc.bank] == s.cfg.EntriesPerBank {
+						s.banksWithFree++
+					}
+					s.bankUsed[loc.bank]--
+				}
+			} else if loc.kind == locShared {
+				s.sumSharedSlots += s.activeSlots(e.used) - s.activeSlots(e.used+1)
+			} else {
+				s.sumDistribSlots += s.activeSlots(e.used) - s.activeSlots(e.used+1)
 			}
 		}
 	}
@@ -618,8 +717,7 @@ func (s *SAMIE) Commit(seq uint64) {
 // Flush implements lsq.Model.
 func (s *SAMIE) Flush() {
 	s.t.Clear()
-	s.locs = make(map[uint64]location)
-	s.addrBuf = s.addrBuf[:0]
+	s.addrBuf.clear()
 	for b := range s.banks {
 		for e := range s.banks[b] {
 			s.banks[b][e].valid = false
@@ -644,67 +742,46 @@ func (s *SAMIE) Flush() {
 			}
 		}
 	}
+	for b := range s.bankUsed {
+		s.bankUsed[b] = 0
+	}
+	s.banksWithFree = s.cfg.Banks
+	s.distribActive, s.sumDistribSlots = 0, 0
+	s.sharedActive, s.sumSharedSlots = 0, 0
 }
 
 // AccountCycle implements lsq.Model: occupancy statistics and §4.5
-// active-area accumulation.
+// active-area accumulation. The entry/slot totals are maintained
+// incrementally at fill/free time, so this per-cycle hook is O(1) —
+// it does not walk the banks.
 func (s *SAMIE) AccountCycle() {
 	s.stats.Cycles++
 	s.stats.SumInFlight += float64(s.t.Len())
 
-	sharedOcc := 0
-	sharedSlots := s.scratchSlots[:0]
-	for e := range s.shared {
-		if s.shared[e].valid {
-			sharedOcc++
-			active := s.shared[e].used + 1
-			if active > s.cfg.SlotsPerEntry {
-				active = s.cfg.SlotsPerEntry
-			}
-			sharedSlots = append(sharedSlots, active)
-		}
-	}
+	sharedOcc := s.sharedActive
 	s.stats.SumSharedOcc += float64(sharedOcc)
 	if sharedOcc > s.stats.MaxSharedOcc {
 		s.stats.MaxSharedOcc = sharedOcc
 	}
-	if len(s.addrBuf) > 0 {
+	if s.addrBuf.len() > 0 {
 		s.stats.CyclesABNonEmpty++
 	}
-	s.stats.SumABOcc += float64(len(s.addrBuf))
+	s.stats.SumABOcc += float64(s.addrBuf.len())
 
 	// One extra pre-allocated entry (with one active slot) in the
-	// SharedLSQ when it has room.
+	// SharedLSQ when it has room, and one per DistribLSQ bank with a
+	// free entry.
+	sharedEntries, sharedSlots := s.sharedActive, s.sumSharedSlots
 	if !s.cfg.SharedUnbounded && sharedOcc < len(s.shared) {
-		sharedSlots = append(sharedSlots, 1)
+		sharedEntries++
+		sharedSlots++
 	}
+	s.stats.SumDistribEntries += float64(s.distribActive)
 
-	distribEntries := 0
-	var distribSlots []int
-	for b := range s.banks {
-		freeInBank := 0
-		for e := range s.banks[b] {
-			if s.banks[b][e].valid {
-				distribEntries++
-				active := s.banks[b][e].used + 1
-				if active > s.cfg.SlotsPerEntry {
-					active = s.cfg.SlotsPerEntry
-				}
-				distribSlots = append(distribSlots, active)
-			} else {
-				freeInBank++
-			}
-		}
-		// One extra pre-allocated entry per bank when the bank has room.
-		if freeInBank > 0 {
-			distribSlots = append(distribSlots, 1)
-		}
-	}
-	s.stats.SumDistribEntries += float64(distribEntries)
-
-	s.meter.AccumulateSAMIEArea(distribSlots, sharedSlots, len(s.addrBuf), s.cfg.AddrBufferSlots)
-	// sharedSlots may alias scratchSlots; reset length for reuse.
-	s.scratchSlots = s.scratchSlots[:0]
+	s.meter.AccumulateSAMIEAreaCounts(
+		s.distribActive+s.banksWithFree, s.sumDistribSlots+s.banksWithFree,
+		sharedEntries, sharedSlots,
+		s.addrBuf.len(), s.cfg.AddrBufferSlots)
 }
 
 // InFlight implements lsq.Model.
@@ -717,7 +794,7 @@ func (s *SAMIE) ResetStats() { s.stats = Stats{} }
 // address lands in the AddrBuffer, so the remaining FIFO slots bound
 // how many address computations may safely be in flight (§3.3's
 // alternative deadlock-avoidance rule).
-func (s *SAMIE) FreeCapacity() int { return s.cfg.AddrBufferSlots - len(s.addrBuf) }
+func (s *SAMIE) FreeCapacity() int { return s.cfg.AddrBufferSlots - s.addrBuf.len() }
 
 // SharedInUse returns the number of valid SharedLSQ entries (test and
 // experiment hook).
@@ -732,7 +809,7 @@ func (s *SAMIE) SharedInUse() int {
 }
 
 // AddrBufferLen returns the current AddrBuffer length.
-func (s *SAMIE) AddrBufferLen() int { return len(s.addrBuf) }
+func (s *SAMIE) AddrBufferLen() int { return s.addrBuf.len() }
 
 // DistribInUse returns the number of valid DistribLSQ entries.
 func (s *SAMIE) DistribInUse() int {

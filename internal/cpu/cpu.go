@@ -10,6 +10,13 @@
 // access only when every older store's address is known; a store whose
 // address is computed sets the readyBits of younger instructions up to
 // the next unknown-address store.
+//
+// The per-instruction path is allocation-free in steady state (see
+// docs/performance.md): dynamic instructions come from a free list
+// recycled at commit, the ROB/fetch/replay queues are ring buffers, and
+// in-flight lookups are direct seq-indexed ring addressing instead of
+// maps. This requires streams to deliver consecutive sequence numbers
+// (isa.Stream's contract), which makes the ROB a contiguous seq window.
 package cpu
 
 import (
@@ -122,33 +129,64 @@ const (
 	stCommitted
 )
 
-// dynInst is one in-flight dynamic instruction.
+// dynInst is one in-flight dynamic instruction. Instances are recycled
+// through the CPU's free list at commit; gen disambiguates a recycled
+// slot from the instruction a stale reference was bound to.
 type dynInst struct {
 	in    isa.Inst
 	state instState
+	gen   uint32 // bumped every time the slot is recycled
 
-	srcA, srcB *dynInst // producers still in flight at rename (nil = ready)
-	readyAt    uint64   // cycle the result becomes available (once issued)
+	// Class lanes, precomputed at allocation: the issue walk consults
+	// them every cycle per in-flight instruction.
+	mem bool
+	fp  bool
+
+	// Producers still in flight at rename (nil = ready). genA/genB are
+	// the producers' generations at bind time: a mismatch means the
+	// producer has committed and its slot was recycled — i.e. the value
+	// is long since ready.
+	srcA, srcB *dynInst
+	genA, genB uint32
+
+	readyAt uint64 // cycle the result becomes available (once issued)
 
 	pred       bpred.Prediction
 	mispredict bool
 	predMade   bool
 
 	// Memory state.
-	placed    bool
-	buffered  bool
-	performed bool
+	placed      bool
+	buffered    bool
+	performed   bool
+	addrUnknown bool // store dispatched, address not yet computed
 }
 
-func (d *dynInst) isMem() bool { return d.in.Cls.IsMem() }
+func (d *dynInst) isMem() bool { return d.mem }
 
-func producerDone(p *dynInst, cycle uint64) bool {
-	return p == nil || (p.state >= stDone && p.readyAt <= cycle)
+func producerDone(p *dynInst, gen uint32, cycle uint64) bool {
+	return p == nil || p.gen != gen || (p.state >= stDone && p.readyAt <= cycle)
 }
 
 // srcsReady reports whether both producers have completed by cycle.
+// A producer observed done is severed (the verdict is permanent until
+// a flush, which rebinds producers at re-dispatch), so the repeated
+// per-cycle rechecks of a waiting instruction degrade to nil tests
+// instead of pointer chases.
 func (d *dynInst) srcsReady(cycle uint64) bool {
-	return producerDone(d.srcA, cycle) && producerDone(d.srcB, cycle)
+	if d.srcA != nil {
+		if !producerDone(d.srcA, d.genA, cycle) {
+			return false
+		}
+		d.srcA = nil
+	}
+	if d.srcB != nil {
+		if !producerDone(d.srcB, d.genB, cycle) {
+			return false
+		}
+		d.srcB = nil
+	}
+	return true
 }
 
 // agenReady reports whether the address operands are ready. For
@@ -158,40 +196,77 @@ func (d *dynInst) srcsReady(cycle uint64) bool {
 // data. This is what lets the readyBit scheme make progress.
 func (d *dynInst) agenReady(cycle uint64) bool {
 	if d.in.Cls == isa.ClassStore {
-		return producerDone(d.srcA, cycle)
+		if d.srcA != nil {
+			if !producerDone(d.srcA, d.genA, cycle) {
+				return false
+			}
+			d.srcA = nil
+		}
+		return true
 	}
 	return d.srcsReady(cycle)
 }
 
 // dataReady reports whether a store's data operand is available.
 func (d *dynInst) dataReady(cycle uint64) bool {
-	return producerDone(d.srcB, cycle)
+	if d.srcB != nil {
+		if !producerDone(d.srcB, d.genB, cycle) {
+			return false
+		}
+		d.srcB = nil
+	}
+	return true
+}
+
+// writerRef is a generation-tagged reference to the last architectural
+// writer of a register. The writer may have committed (and its slot
+// been recycled) by the time a consumer renames against it; the
+// generation check classifies that case as "value ready".
+type writerRef struct {
+	d   *dynInst
+	gen uint32
 }
 
 // fuPool models a pool of functional units that may be occupied for
 // multiple cycles (non-pipelined operations).
 type fuPool struct {
 	busyUntil []uint64
+	// minBusy caches min(busyUntil): when it is still in the future the
+	// whole pool is busy and acquire fails without scanning.
+	minBusy uint64
 }
 
 func newFUPool(n int) *fuPool { return &fuPool{busyUntil: make([]uint64, n)} }
 
 // acquire reserves a unit until cycle+occupancy; it returns false when
-// every unit is busy.
+// every unit is busy. The all-busy path is O(1) via the min-tracking
+// index; a successful acquire rescans the (small) pool to refresh it.
 func (p *fuPool) acquire(cycle uint64, occupancy int) bool {
+	if p.minBusy > cycle {
+		return false
+	}
+	acquired := false
+	newMin := ^uint64(0)
 	for i := range p.busyUntil {
-		if p.busyUntil[i] <= cycle {
+		if !acquired && p.busyUntil[i] <= cycle {
 			p.busyUntil[i] = cycle + uint64(occupancy)
-			return true
+			acquired = true
+		}
+		if p.busyUntil[i] < newMin {
+			newMin = p.busyUntil[i]
 		}
 	}
-	return false
+	if acquired {
+		p.minBusy = newMin
+	}
+	return acquired
 }
 
 func (p *fuPool) reset() {
 	for i := range p.busyUntil {
 		p.busyUntil[i] = 0
 	}
+	p.minBusy = 0
 }
 
 // Result summarizes a simulation.
@@ -235,21 +310,25 @@ type CPU struct {
 	bp    *bpred.Predictor
 	meter *energy.Meter
 
-	cycle   uint64
-	rob     []*dynInst
-	robMap  map[uint64]*dynInst
-	fetchQ  []*dynInst
-	replayQ []*dynInst // flushed instructions awaiting re-fetch
-	iqInt   int
-	iqFP    int
+	cycle      uint64
+	rob        instRing // contiguous seq window; index = seq - headSeq
+	robNextSeq uint64   // expected seq of the next dispatch (contiguity check)
+	fetchQ     instRing
+	replayQ    instRing // flushed instructions awaiting re-fetch
+	iqInt      int
+	iqFP       int
 
-	lastWriter [isa.NumLogicalRegs]*dynInst
+	lastWriter [isa.NumLogicalRegs]writerRef
 
 	intMulDiv *fuPool
 	fpMulDiv  *fuPool
 
-	unknownStores map[uint64]*dynInst
-	minUnknownSeq uint64 // cached; ^0 when none
+	// readyBit frontier: stores dispatched whose address is still
+	// uncomputed, tracked on the instructions themselves plus a count
+	// and a monotone min-seq cursor (recomputed lazily by a forward
+	// ring scan from the previous frontier).
+	unknownCount  int
+	minUnknownSeq uint64 // last computed frontier; ^0 when none
 	minUnknownOK  bool
 
 	pendingAgens      int // memory AGENs issued, address not yet delivered
@@ -260,6 +339,27 @@ type CPU struct {
 	headBlocked int // consecutive cycles the ROB head sat unplaced
 
 	streamDone bool
+
+	// dynInst arena: committed instructions return here and are handed
+	// back out by nextInst, so the steady-state pipeline allocates
+	// nothing per instruction.
+	freeInsts []*dynInst
+
+	flushScratch []*dynInst // reused by flushPipeline
+	flushEpoch   uint64     // bumped per flush; guards in-progress ROB walks
+
+	// nextScratch receives Stream.Next output. A local would escape to
+	// the heap through the interface call — one boxed isa.Inst per
+	// fetched instruction; a field costs nothing.
+	nextScratch isa.Inst
+
+	// active is the age-ordered subset of the ROB that still needs
+	// per-cycle attention (dispatched, executing, or waiting on the
+	// memory system). Instructions leave it when they reach stDone, so
+	// the writeback/issue walk skips completed instructions piling up
+	// behind a blocked head. Compaction preserves age order, keeping
+	// issue priority identical to a full ROB walk.
+	active []*dynInst
 
 	res Result
 }
@@ -288,20 +388,24 @@ func New(cfg Config, strm isa.Stream, model lsq.Model, hier *mem.Hierarchy, dtlb
 	if meter == nil {
 		meter = energy.NewMeter()
 	}
-	return &CPU{
-		cfg:           cfg,
-		strm:          strm,
-		model:         model,
-		hier:          hier,
-		dtlb:          dtlbU,
-		itlb:          tlb.New(tlb.PaperITLB()),
-		bp:            bp,
-		meter:         meter,
-		intMulDiv:     newFUPool(cfg.IntMulDiv),
-		fpMulDiv:      newFUPool(cfg.FPMulDiv),
-		unknownStores: make(map[uint64]*dynInst),
-		robMap:        make(map[uint64]*dynInst),
+	c := &CPU{
+		cfg:       cfg,
+		strm:      strm,
+		model:     model,
+		hier:      hier,
+		dtlb:      dtlbU,
+		itlb:      tlb.New(tlb.PaperITLB()),
+		bp:        bp,
+		meter:     meter,
+		intMulDiv: newFUPool(cfg.IntMulDiv),
+		fpMulDiv:  newFUPool(cfg.FPMulDiv),
+		rob:       newInstRing(cfg.ROBSize),
+		fetchQ:    newInstRing(cfg.FetchQueue + cfg.FetchWidth),
+		replayQ:   newInstRing(4),
+		freeInsts: make([]*dynInst, 0, cfg.ROBSize+cfg.FetchQueue),
+		active:    make([]*dynInst, 0, cfg.ROBSize),
 	}
+	return c
 }
 
 // Meter returns the energy meter.
@@ -309,6 +413,27 @@ func (c *CPU) Meter() *energy.Meter { return c.meter }
 
 // Cycle returns the current cycle (for tests).
 func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// allocInst hands out a dynInst for in, recycling a committed one when
+// available.
+func (c *CPU) allocInst(in isa.Inst) *dynInst {
+	if n := len(c.freeInsts); n > 0 {
+		d := c.freeInsts[n-1]
+		c.freeInsts = c.freeInsts[:n-1]
+		gen := d.gen
+		*d = dynInst{in: in, gen: gen, mem: in.Cls.IsMem(), fp: in.Cls.IsFP()}
+		return d
+	}
+	return &dynInst{in: in, mem: in.Cls.IsMem(), fp: in.Cls.IsFP()}
+}
+
+// recycleInst returns a committed instruction to the arena. The
+// generation bump retires every outstanding reference (rename bindings,
+// lastWriter entries) to the old occupant.
+func (c *CPU) recycleInst(d *dynInst) {
+	d.gen++
+	c.freeInsts = append(c.freeInsts, d)
+}
 
 // RunWarm simulates warmInsts instructions to warm the caches, TLBs
 // and predictor (as the paper does before measuring), resets every
@@ -335,7 +460,7 @@ func (c *CPU) Run(maxInsts uint64) Result {
 	startCycle := c.cycle
 	maxCycles := startCycle + maxInsts*40 + 1_000_000
 	for c.res.Committed < maxInsts && c.cycle < maxCycles {
-		if c.streamDone && len(c.rob) == 0 && len(c.fetchQ) == 0 && len(c.replayQ) == 0 {
+		if c.streamDone && c.rob.len() == 0 && c.fetchQ.len() == 0 && c.replayQ.len() == 0 {
 			break
 		}
 		c.step()
@@ -371,8 +496,8 @@ func (c *CPU) step() {
 
 func (c *CPU) commit(dports *int) {
 	n := 0
-	for n < c.cfg.CommitWidth && len(c.rob) > 0 {
-		d := c.rob[0]
+	for n < c.cfg.CommitWidth && c.rob.len() > 0 {
+		d := c.rob.front()
 		if d.state < stDone || d.readyAt > c.cycle {
 			if n == 0 {
 				c.classifyHeadStall(d)
@@ -389,8 +514,8 @@ func (c *CPU) commit(dports *int) {
 		}
 		c.model.Commit(d.in.Seq)
 		d.state = stCommitted
-		delete(c.robMap, d.in.Seq)
-		c.rob = c.rob[1:]
+		c.rob.popFront()
+		c.recycleInst(d)
 		c.res.Committed++
 		n++
 	}
@@ -463,11 +588,11 @@ func (c *CPU) handleEviction(evicted, hadPB bool) {
 // ---- Deadlock avoidance (§3.3) --------------------------------------------
 
 func (c *CPU) checkDeadlock() bool {
-	if len(c.rob) == 0 {
+	if c.rob.len() == 0 {
 		c.headBlocked = 0
 		return false
 	}
-	head := c.rob[0]
+	head := c.rob.front()
 	// The head is deadlocked if its address is computed but no LSQ
 	// structure can hold it, or if the address-computation gate itself
 	// is closed (AddrBuffer full) so its address can never be computed.
@@ -491,10 +616,16 @@ func (c *CPU) checkDeadlock() bool {
 // for re-fetch in program order (the oldest instruction re-enters
 // first, guaranteeing forward progress).
 func (c *CPU) flushPipeline() {
-	var all []*dynInst
-	all = append(all, c.rob...)
-	all = append(all, c.fetchQ...)
-	all = append(all, c.replayQ...)
+	all := c.flushScratch[:0]
+	for i := 0; i < c.rob.len(); i++ {
+		all = append(all, c.rob.at(i))
+	}
+	for i := 0; i < c.fetchQ.len(); i++ {
+		all = append(all, c.fetchQ.at(i))
+	}
+	for i := 0; i < c.replayQ.len(); i++ {
+		all = append(all, c.replayQ.at(i))
+	}
 	for _, d := range all {
 		d.state = stFetched
 		d.placed = false
@@ -502,25 +633,32 @@ func (c *CPU) flushPipeline() {
 		d.performed = false
 		d.predMade = false
 		d.mispredict = false
+		d.addrUnknown = false
 		d.readyAt = 0
 	}
-	c.replayQ = all
-	c.rob = nil
-	c.robMap = make(map[uint64]*dynInst)
-	c.fetchQ = nil
+	c.rob.clear()
+	c.fetchQ.clear()
+	c.replayQ.clear()
+	c.active = c.active[:0]
+	for _, d := range all {
+		c.replayQ.pushBack(d)
+	}
+	c.flushScratch = all[:0]
 	c.iqInt, c.iqFP = 0, 0
 	for i := range c.lastWriter {
-		c.lastWriter[i] = nil
+		c.lastWriter[i] = writerRef{}
 	}
 	c.intMulDiv.reset()
 	c.fpMulDiv.reset()
-	c.unknownStores = make(map[uint64]*dynInst)
+	c.unknownCount = 0
+	c.minUnknownSeq = 0
 	c.minUnknownOK = false
 	c.pendingAgens = 0
 	c.model.Flush()
 	c.blockingBranch = nil
 	c.fetchBlockedUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
 	c.headBlocked = 0
+	c.flushEpoch++
 }
 
 // ---- LSQ buffer drain -------------------------------------------------------
@@ -534,49 +672,87 @@ func (c *CPU) drainAddrBuffer() {
 	}
 }
 
-// findROB locates an in-flight instruction by sequence number.
-func (c *CPU) findROB(seq uint64) *dynInst { return c.robMap[seq] }
+// findROB locates an in-flight instruction by sequence number. The ROB
+// is a contiguous window of sequence numbers, so this is direct ring
+// addressing, not a search.
+func (c *CPU) findROB(seq uint64) *dynInst {
+	if c.rob.len() == 0 {
+		return nil
+	}
+	head := c.rob.front().in.Seq
+	if seq < head || seq-head >= uint64(c.rob.len()) {
+		return nil
+	}
+	return c.rob.at(int(seq - head))
+}
 
 // ---- Issue / execute / writeback -------------------------------------------
 
 // minUnknownStore returns the lowest sequence number among stores with
-// uncomputed addresses (^0 when none): the readyBit frontier.
+// uncomputed addresses (^0 when none): the readyBit frontier. The
+// frontier is monotone between flushes, so the lazy recompute resumes
+// the ring scan from the previous frontier instead of rescanning.
 func (c *CPU) minUnknownStore() uint64 {
 	if c.minUnknownOK {
 		return c.minUnknownSeq
 	}
-	minSeq := ^uint64(0)
-	for seq := range c.unknownStores {
-		if seq < minSeq {
-			minSeq = seq
+	c.minUnknownOK = true
+	if c.unknownCount == 0 || c.rob.len() == 0 {
+		c.minUnknownSeq = ^uint64(0)
+		return c.minUnknownSeq
+	}
+	head := c.rob.front().in.Seq
+	start := 0
+	if c.minUnknownSeq != ^uint64(0) && c.minUnknownSeq > head {
+		start = int(c.minUnknownSeq - head)
+		if start > c.rob.len() {
+			start = c.rob.len()
 		}
 	}
-	c.minUnknownSeq = minSeq
-	c.minUnknownOK = true
-	return minSeq
+	for i := start; i < c.rob.len(); i++ {
+		if d := c.rob.at(i); d.addrUnknown {
+			c.minUnknownSeq = d.in.Seq
+			return c.minUnknownSeq
+		}
+	}
+	c.minUnknownSeq = ^uint64(0)
+	return c.minUnknownSeq
 }
 
 func (c *CPU) writebackAndIssue(dports *int) {
 	intIssued, fpIssued := 0, 0
 	aluUsed := 0
+	epoch := c.flushEpoch
 
-	for _, d := range c.rob {
+	// Walk the active instructions oldest-first, compacting in place:
+	// an instruction that reaches stDone drops out and is never
+	// revisited, so completed work piling up behind a blocked head
+	// costs nothing per cycle.
+	act := c.active
+	w := 0
+	for i := 0; i < len(act); i++ {
+		d := act[i]
 		switch d.state {
 		case stIssued:
 			if d.readyAt <= c.cycle {
 				c.completeExec(d)
+				if c.flushEpoch != epoch {
+					// completeExec flushed the pipeline (§3.3 scenario
+					// 2): flushPipeline rebuilt the active list; do not
+					// touch it here.
+					return
+				}
 			}
 		case stDispatched:
-			if d.isMem() {
-				if !d.agenReady(c.cycle) {
-					continue
-				}
-			} else if !d.srcsReady(c.cycle) {
-				continue
-			}
-			if d.in.Cls.IsFP() {
+			// Once a lane's issue width is spent, younger instructions
+			// of that lane skip their (costlier) dependence checks —
+			// they could not issue either way.
+			if d.fp {
 				if fpIssued >= c.cfg.IssueFP {
-					continue
+					break
+				}
+				if !d.srcsReady(c.cycle) {
+					break
 				}
 				if c.issueFP(d) {
 					fpIssued++
@@ -584,7 +760,14 @@ func (c *CPU) writebackAndIssue(dports *int) {
 				}
 			} else {
 				if intIssued >= c.cfg.IssueInt {
-					continue
+					break
+				}
+				if d.mem {
+					if !d.agenReady(c.cycle) {
+						break
+					}
+				} else if !d.srcsReady(c.cycle) {
+					break
 				}
 				if c.issueInt(d, &aluUsed) {
 					intIssued++
@@ -604,7 +787,12 @@ func (c *CPU) writebackAndIssue(dports *int) {
 				c.model.NotePerformed(d.in.Seq)
 			}
 		}
+		if d.state < stDone {
+			act[w] = d
+			w++
+		}
 	}
+	c.active = act[:w]
 }
 
 // completeExec handles writeback for a finished instruction.
@@ -628,9 +816,14 @@ func (c *CPU) completeExec(d *dynInst) {
 			c.pendingAgens--
 		}
 		pl := c.model.AddressReady(d.in.Seq, d.in.Cls == isa.ClassLoad, d.in.Addr, d.in.Size)
-		if d.in.Cls == isa.ClassStore {
-			delete(c.unknownStores, d.in.Seq)
-			c.minUnknownOK = false
+		if d.in.Cls == isa.ClassStore && d.addrUnknown {
+			d.addrUnknown = false
+			c.unknownCount--
+			if c.minUnknownOK && d.in.Seq == c.minUnknownSeq {
+				// The frontier store resolved: recompute lazily from
+				// here (the next frontier can only be younger).
+				c.minUnknownOK = false
+			}
 		}
 		switch {
 		case pl.Placed:
@@ -790,13 +983,13 @@ func (c *CPU) tryPerformLoad(d *dynInst, dports *int) {
 func (c *CPU) dispatch() {
 	n := 0
 	stalled := false
-	for n < c.cfg.DecodeWidth && len(c.fetchQ) > 0 {
-		d := c.fetchQ[0]
-		if len(c.rob) >= c.cfg.ROBSize {
+	for n < c.cfg.DecodeWidth && c.fetchQ.len() > 0 {
+		d := c.fetchQ.front()
+		if c.rob.len() >= c.cfg.ROBSize {
 			stalled = true
 			break
 		}
-		if d.in.Cls.IsFP() {
+		if d.fp {
 			if c.iqFP >= c.cfg.IQFP {
 				stalled = true
 				break
@@ -812,17 +1005,24 @@ func (c *CPU) dispatch() {
 		// Rename: bind producers.
 		d.srcA, d.srcB = nil, nil
 		if d.in.SrcA != isa.RegNone {
-			d.srcA = c.lastWriter[d.in.SrcA]
+			w := c.lastWriter[d.in.SrcA]
+			d.srcA, d.genA = w.d, w.gen
 		}
 		if d.in.SrcB != isa.RegNone {
-			d.srcB = c.lastWriter[d.in.SrcB]
+			w := c.lastWriter[d.in.SrcB]
+			d.srcB, d.genB = w.d, w.gen
 		}
 		if d.in.Dest != isa.RegNone {
-			c.lastWriter[d.in.Dest] = d
+			c.lastWriter[d.in.Dest] = writerRef{d: d, gen: d.gen}
 		}
 		if d.in.Cls == isa.ClassStore {
-			c.unknownStores[d.in.Seq] = d
-			c.minUnknownOK = false
+			d.addrUnknown = true
+			c.unknownCount++
+			if c.minUnknownOK && d.in.Seq < c.minUnknownSeq {
+				// Only possible when the cached frontier was "none"
+				// (^0): the new store becomes the frontier.
+				c.minUnknownSeq = d.in.Seq
+			}
 		}
 		if d.in.Cls == isa.ClassLoad {
 			c.res.Loads++
@@ -830,14 +1030,18 @@ func (c *CPU) dispatch() {
 			c.res.Stores++
 		}
 		d.state = stDispatched
-		if d.in.Cls.IsFP() {
+		if d.fp {
 			c.iqFP++
 		} else {
 			c.iqInt++
 		}
-		c.rob = append(c.rob, d)
-		c.robMap[d.in.Seq] = d
-		c.fetchQ = c.fetchQ[1:]
+		if c.robNextSeq != 0 && c.rob.len() > 0 && d.in.Seq != c.robNextSeq {
+			panic("cpu: instruction stream delivered non-consecutive sequence numbers")
+		}
+		c.robNextSeq = d.in.Seq + 1
+		c.rob.pushBack(d)
+		c.active = append(c.active, d)
+		c.fetchQ.popFront()
 		n++
 	}
 	if stalled {
@@ -858,7 +1062,7 @@ func (c *CPU) fetch() {
 		return
 	}
 	n := 0
-	for n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue {
+	for n < c.cfg.FetchWidth && c.fetchQ.len() < c.cfg.FetchQueue {
 		d := c.nextInst()
 		if d == nil {
 			return
@@ -872,7 +1076,7 @@ func (c *CPU) fetch() {
 			}
 			if lat := c.hier.Inst(d.in.PC); lat > c.hier.L1I.Config().HitLatency {
 				c.fetchBlockedUntil = c.cycle + uint64(lat)
-				c.fetchQ = append(c.fetchQ, d)
+				c.fetchQ.pushBack(d)
 				return
 			}
 		}
@@ -883,7 +1087,7 @@ func (c *CPU) fetch() {
 			wrongDir := d.pred.Taken != d.in.Taken
 			wrongTgt := d.in.Taken && (d.pred.Target == 0 || d.pred.Target != d.in.Target)
 			d.mispredict = wrongDir || wrongTgt
-			c.fetchQ = append(c.fetchQ, d)
+			c.fetchQ.pushBack(d)
 			n++
 			if d.mispredict {
 				// Fetch chases the wrong path until the branch resolves.
@@ -897,7 +1101,7 @@ func (c *CPU) fetch() {
 			}
 			continue
 		}
-		c.fetchQ = append(c.fetchQ, d)
+		c.fetchQ.pushBack(d)
 		n++
 	}
 }
@@ -905,18 +1109,15 @@ func (c *CPU) fetch() {
 // nextInst pulls the next instruction, preferring flushed instructions
 // awaiting replay.
 func (c *CPU) nextInst() *dynInst {
-	if len(c.replayQ) > 0 {
-		d := c.replayQ[0]
-		c.replayQ = c.replayQ[1:]
-		return d
+	if c.replayQ.len() > 0 {
+		return c.replayQ.popFront()
 	}
 	if c.streamDone {
 		return nil
 	}
-	var in isa.Inst
-	if !c.strm.Next(&in) {
+	if !c.strm.Next(&c.nextScratch) {
 		c.streamDone = true
 		return nil
 	}
-	return &dynInst{in: in}
+	return c.allocInst(c.nextScratch)
 }

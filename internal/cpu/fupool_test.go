@@ -1,0 +1,67 @@
+package cpu
+
+import "testing"
+
+func TestFUPoolOccupancy(t *testing.T) {
+	p := newFUPool(2)
+
+	// Two units: both acquirable at cycle 10 with different occupancies.
+	if !p.acquire(10, 5) || !p.acquire(10, 1) {
+		t.Fatal("free units not acquired")
+	}
+	// Pool exhausted: the fast-fail path must reject without state change.
+	if p.acquire(10, 1) {
+		t.Fatal("acquired from a fully busy pool")
+	}
+	// The 1-cycle unit frees at cycle 11, the 5-cycle one at 15.
+	if p.acquire(10, 1) {
+		t.Fatal("unit freed early")
+	}
+	if !p.acquire(11, 2) {
+		t.Fatal("unit not free at its release cycle")
+	}
+	if p.acquire(12, 1) {
+		t.Fatal("both units should be busy at cycle 12 (until 13 and 15)")
+	}
+	if !p.acquire(13, 1) {
+		t.Fatal("unit not free after 2-cycle occupancy")
+	}
+	if !p.acquire(15, 1) {
+		t.Fatal("unit not free after the 5-cycle occupancy")
+	}
+
+	// reset clears every reservation and the min-tracking index.
+	p.reset()
+	if !p.acquire(0, 3) || !p.acquire(0, 3) {
+		t.Fatal("reset did not free the pool")
+	}
+	if p.acquire(1, 1) {
+		t.Fatal("reset pool over-acquired")
+	}
+}
+
+// TestFUPoolMinTrackingConsistency cross-checks the min-tracking fast
+// path against a brute-force scan over a pseudo-random schedule.
+func TestFUPoolMinTrackingConsistency(t *testing.T) {
+	p := newFUPool(3)
+	ref := make([]uint64, 3)
+	rngState := uint64(12345)
+	rng := func(n int) int {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return int((rngState >> 33) % uint64(n))
+	}
+	for cycle := uint64(0); cycle < 2000; cycle++ {
+		occ := 1 + rng(20)
+		want := false
+		for i := range ref {
+			if ref[i] <= cycle {
+				ref[i] = cycle + uint64(occ)
+				want = true
+				break
+			}
+		}
+		if got := p.acquire(cycle, occ); got != want {
+			t.Fatalf("cycle %d occ %d: acquire = %v, brute force = %v", cycle, occ, got, want)
+		}
+	}
+}

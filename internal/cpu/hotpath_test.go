@@ -1,0 +1,57 @@
+package cpu
+
+import (
+	"testing"
+
+	"samielsq/internal/core"
+	"samielsq/internal/lsq"
+	"samielsq/internal/trace"
+)
+
+// steadyAllocs reports the allocations of 2000 simulated cycles after
+// the pipeline and the model have reached steady state.
+func steadyAllocs(t *testing.T, model lsq.Model) float64 {
+	t.Helper()
+	p := trace.MustPersonality("gzip")
+	c := New(PaperConfig(), trace.NewGenerator(p), model, nil, nil, nil, nil)
+	c.Run(20000) // fill the arena, grow every scratch buffer
+	return testing.AllocsPerRun(5, func() {
+		for i := 0; i < 2000; i++ {
+			c.step()
+		}
+	})
+}
+
+// TestStepZeroAllocSteadyState is the hot-path guard: once warm, the
+// per-cycle path must not allocate, whatever the LSQ model. A failure
+// here means a map, append or escape crept back into the
+// per-instruction path — see docs/performance.md.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	models := map[string]func() lsq.Model{
+		"conventional": func() lsq.Model { return lsq.NewConventional(128, nil) },
+		"unbounded":    func() lsq.Model { return lsq.NewUnbounded() },
+		"arb":          func() lsq.Model { return lsq.NewARB(8, 16, 128) },
+		"samie":        func() lsq.Model { return core.NewPaper(nil) },
+	}
+	for name, mk := range models {
+		t.Run(name, func(t *testing.T) {
+			if n := steadyAllocs(t, mk()); n > 0 {
+				t.Errorf("%s: %.1f allocs per 2000 steady-state cycles, want 0", name, n)
+			}
+		})
+	}
+}
+
+// BenchmarkHotPathStep measures raw simulator cycles per second on the
+// paper configuration with the SAMIE-LSQ (the dominant workload of
+// every figure harness).
+func BenchmarkHotPathStep(b *testing.B) {
+	p := trace.MustPersonality("gzip")
+	c := New(PaperConfig(), trace.NewGenerator(p), core.NewPaper(nil), nil, nil, nil, nil)
+	c.Run(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.step()
+	}
+}

@@ -1,0 +1,76 @@
+package cpu
+
+// instRing is a growable ring buffer of in-flight instructions. The
+// pipeline queues (ROB, fetch queue, replay queue) push at the tail and
+// pop at the head every cycle; a ring makes both O(1) with no
+// steady-state allocation — the buffer grows (rarely) to the high-water
+// mark and is reused for the rest of the simulation.
+type instRing struct {
+	buf  []*dynInst
+	head int
+	n    int
+}
+
+func newInstRing(capacity int) instRing {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return instRing{buf: make([]*dynInst, capacity)}
+}
+
+func (r *instRing) len() int { return r.n }
+
+// at returns the i-th element from the head (0 = oldest).
+func (r *instRing) at(i int) *dynInst {
+	idx := r.head + i
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	return r.buf[idx]
+}
+
+func (r *instRing) front() *dynInst { return r.buf[r.head] }
+
+func (r *instRing) pushBack(d *dynInst) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	idx := r.head + r.n
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	r.buf[idx] = d
+	r.n++
+}
+
+func (r *instRing) popFront() *dynInst {
+	d := r.buf[r.head]
+	r.buf[r.head] = nil // release the reference for reuse accounting
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return d
+}
+
+// clear empties the ring, dropping references so recycled instructions
+// are not pinned through the backing array.
+func (r *instRing) clear() {
+	for i := 0; i < r.n; i++ {
+		idx := r.head + i
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		r.buf[idx] = nil
+	}
+	r.head, r.n = 0, 0
+}
+
+func (r *instRing) grow() {
+	nb := make([]*dynInst, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}

@@ -254,17 +254,18 @@ func (m *Meter) AccumulateConvArea(inUse, capacity int) {
 	m.ConvArea += float64(active) * m.ConvEntryArea()
 }
 
-// AccumulateSAMIEArea adds one cycle of SAMIE-LSQ active area.
-// entrySlots lists, for every active entry (in-use plus the one
-// pre-allocated entry per DistribLSQ bank and one in the SharedLSQ),
-// its active slot count (in-use slots + 1, capped at slotsPerEntry).
-func (m *Meter) AccumulateSAMIEArea(distribEntrySlots, sharedEntrySlots []int, addrBufInUse, addrBufCap int) {
-	for _, s := range distribEntrySlots {
-		m.DistribArea += m.DistribEntryArea() + float64(s)*m.DistribSlotArea()
-	}
-	for _, s := range sharedEntrySlots {
-		m.SharedArea += m.SharedEntryArea() + float64(s)*m.SharedSlotArea()
-	}
+// AccumulateSAMIEAreaCounts adds one cycle of SAMIE-LSQ active area
+// from entry/slot totals the caller maintains incrementally (the SAMIE
+// hot path): the per-cycle accumulation is O(1) instead of a walk over
+// every active entry. distribEntries/sharedEntries count the active
+// entries — in-use plus the pre-allocated reserves (one per DistribLSQ
+// bank with room and one in the SharedLSQ) — and distribSlots/
+// sharedSlots their summed active slot counts (in-use slots + 1 per
+// entry, capped at slotsPerEntry). The AddrBuffer reserve is §4.5's
+// in-use + 4, capped at its capacity.
+func (m *Meter) AccumulateSAMIEAreaCounts(distribEntries, distribSlots, sharedEntries, sharedSlots, addrBufInUse, addrBufCap int) {
+	m.DistribArea += float64(distribEntries)*m.DistribEntryArea() + float64(distribSlots)*m.DistribSlotArea()
+	m.SharedArea += float64(sharedEntries)*m.SharedEntryArea() + float64(sharedSlots)*m.SharedSlotArea()
 	active := addrBufInUse + 4
 	if active > addrBufCap {
 		active = addrBufCap

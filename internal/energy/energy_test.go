@@ -134,7 +134,9 @@ func TestAccumulateConvArea(t *testing.T) {
 
 func TestAccumulateSAMIEArea(t *testing.T) {
 	m := NewMeter()
-	m.AccumulateSAMIEArea([]int{2, 3}, []int{1}, 5, 64)
+	// Two distrib entries with 2+3 active slots, one shared entry with
+	// one slot, 5 AddrBuffer slots in use.
+	m.AccumulateSAMIEAreaCounts(2, 5, 1, 1, 5, 64)
 	wantD := 2*m.DistribEntryArea() + 5*m.DistribSlotArea()
 	wantS := m.SharedEntryArea() + 1*m.SharedSlotArea()
 	wantAB := 9 * m.AddrBufferSlotArea()

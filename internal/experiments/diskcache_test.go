@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// cacheTestSpec is a tiny simulation so the cache tests stay fast.
+func cacheTestSpec() RunSpec {
+	return RunSpec{Benchmark: "gzip", Insts: 5_000, Model: ModelSAMIE}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := b1.Run(cacheTestSpec())
+	if st := b1.DiskStats(); st.Writes != 1 || st.Hits != 0 {
+		t.Fatalf("first run stats = %+v, want 1 write", st)
+	}
+
+	// A second batch over the same directory must serve from disk and
+	// reproduce the result exactly (everything figures consume).
+	b2, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := b2.Run(cacheTestSpec())
+	if st := b2.DiskStats(); st.Hits != 1 || st.Writes != 0 {
+		t.Fatalf("second run stats = %+v, want 1 hit", st)
+	}
+	if cached.CPU != fresh.CPU {
+		t.Errorf("CPU result differs: disk %+v vs fresh %+v", cached.CPU, fresh.CPU)
+	}
+	if *cached.Meter != *fresh.Meter {
+		t.Errorf("meter differs after round trip")
+	}
+	if cached.SAMIE != fresh.SAMIE {
+		t.Errorf("SAMIE stats differ after round trip")
+	}
+	if cached.Hier != nil {
+		t.Errorf("disk-served result must carry a nil Hier")
+	}
+	if cached.Spec.Insts != 5_000 || cached.Spec.SAMIE == nil {
+		t.Errorf("restored spec not normalized: %+v", cached.Spec)
+	}
+}
+
+func TestDiskCacheCorruptAndPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(cacheTestSpec())
+
+	files, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected one artifact, got %v (%v)", files, err)
+	}
+	for _, corrupt := range []func() error{
+		func() error { return os.WriteFile(files[0], []byte("{not json"), 0o644) },       // corrupt
+		func() error { return os.Truncate(files[0], 10) },                                // partial write
+		func() error { return os.WriteFile(files[0], []byte(`{"Version":999}`), 0o644) }, // version skew
+	} {
+		if err := corrupt(); err != nil {
+			t.Fatal(err)
+		}
+		nb, err := NewBatchWithCache(1, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := nb.Run(cacheTestSpec())
+		st := nb.DiskStats()
+		if st.Hits != 0 || st.Misses != 1 || st.Writes != 1 {
+			t.Fatalf("corrupt artifact not recovered: stats %+v", st)
+		}
+		if res.CPU.Committed == 0 {
+			t.Fatal("re-simulation after corrupt artifact produced nothing")
+		}
+		// The rewrite must have repaired the artifact.
+		rb, _ := NewBatchWithCache(1, dir)
+		rb.Run(cacheTestSpec())
+		if rs := rb.DiskStats(); rs.Hits != 1 {
+			t.Fatalf("artifact not repaired after corruption: %+v", rs)
+		}
+	}
+}
+
+func TestDiskCacheConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	// Many batches race to simulate and persist the same spec; every
+	// one must succeed and the surviving artifact must be valid.
+	var wg sync.WaitGroup
+	results := make([]RunResult, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := NewBatchWithCache(1, dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = b.Run(cacheTestSpec())
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i].CPU != results[0].CPU {
+			t.Fatalf("racing writers produced different results")
+		}
+	}
+	b, _ := NewBatchWithCache(1, dir)
+	b.Run(cacheTestSpec())
+	if st := b.DiskStats(); st.Hits != 1 {
+		t.Fatalf("artifact invalid after concurrent writers: %+v", st)
+	}
+}
+
+func TestDiskCacheDisabledCleanly(t *testing.T) {
+	// An empty cache directory is a configuration error for the
+	// explicit constructor...
+	if _, err := NewBatchWithCache(1, ""); err == nil {
+		t.Fatal("empty cache dir accepted")
+	}
+	// ...while the plain batch simply has no disk cache: zero stats,
+	// no files written anywhere.
+	b := NewBatch(1)
+	b.Run(cacheTestSpec())
+	if st := b.DiskStats(); st != (DiskCacheStats{}) {
+		t.Fatalf("cacheless batch reported disk traffic: %+v", st)
+	}
+}
+
+func TestBatchCacheLimitLRU(t *testing.T) {
+	b := NewBatch(1)
+	b.SetCacheLimit(2)
+	s1 := cacheTestSpec()
+	s2 := cacheTestSpec()
+	s2.Benchmark = "swim"
+	s3 := cacheTestSpec()
+	s3.Benchmark = "mcf"
+
+	b.Run(s1)
+	b.Run(s2)
+	b.Run(s3) // evicts s1 (least recently requested)
+	if got := b.Stats().Executed; got != 3 {
+		t.Fatalf("executed %d, want 3", got)
+	}
+	b.Run(s2) // still cached
+	if got := b.Stats().Executed; got != 3 {
+		t.Fatalf("cached spec re-executed: %d", got)
+	}
+	r := b.Run(s1) // evicted: must re-simulate, and deterministically so
+	if got := b.Stats().Executed; got != 4 {
+		t.Fatalf("evicted spec served stale: executed %d, want 4", got)
+	}
+	if r.CPU.Committed == 0 {
+		t.Fatal("re-simulated result empty")
+	}
+	if b.DistinctRuns() > 2 {
+		t.Fatalf("cache holds %d results, want <= 2", b.DistinctRuns())
+	}
+}

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"container/list"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,9 +43,17 @@ type Scheduler[K comparable, V any] struct {
 	mu   sync.Mutex
 	jobs map[K]*job[V]
 
-	requests atomic.Int64
-	executed atomic.Int64
-	hits     atomic.Int64
+	// Optional LRU bound on retained results (see SetLimit). Completed
+	// jobs (panicked included) are tracked; in-flight jobs are never
+	// evicted.
+	limit  int
+	lru    *list.List
+	lruIdx map[K]*list.Element
+
+	requests  atomic.Int64
+	executed  atomic.Int64
+	hits      atomic.Int64
+	evictions atomic.Int64
 }
 
 type job[V any] struct {
@@ -77,6 +86,9 @@ func (s *Scheduler[K, V]) Do(key K, run func() V) V {
 	s.requests.Add(1)
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok {
+		if el, tracked := s.lruIdx[key]; tracked {
+			s.lru.MoveToFront(el)
+		}
 		s.mu.Unlock()
 		s.hits.Add(1)
 		<-j.done
@@ -99,11 +111,76 @@ func (s *Scheduler[K, V]) Do(key K, run func() V) V {
 		}()
 		j.val = run()
 	}()
+	s.noteCompleted(key)
 	if j.panicked != nil {
 		panic(j.panicked)
 	}
 	return j.val
 }
+
+// noteCompleted registers a finished execution with the LRU bound and
+// evicts the coldest completed jobs beyond the limit. Panicked jobs
+// are tracked too: with no limit they are retained (re-requesting the
+// key re-raises the panic, matching the unbounded scheduler), but a
+// bounded scheduler must not let them accumulate — once evicted, a
+// re-request re-executes.
+func (s *Scheduler[K, V]) noteCompleted(key K) {
+	s.mu.Lock()
+	if s.limit > 0 {
+		if _, ok := s.lruIdx[key]; !ok {
+			s.lruIdx[key] = s.lru.PushFront(key)
+		}
+		for s.lru.Len() > s.limit {
+			back := s.lru.Back()
+			k := back.Value.(K)
+			s.lru.Remove(back)
+			delete(s.lruIdx, k)
+			delete(s.jobs, k)
+			s.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SetLimit bounds how many completed results the scheduler retains;
+// the least-recently-requested results beyond the bound are evicted
+// and re-requesting them re-executes the job. n <= 0 removes the bound
+// (the default). Intended for long-lived batches (services) where the
+// run cache would otherwise grow without bound.
+func (s *Scheduler[K, V]) SetLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = n
+	if n <= 0 {
+		s.limit = 0
+		s.lru, s.lruIdx = nil, nil
+		return
+	}
+	if s.lru == nil {
+		s.lru = list.New()
+		s.lruIdx = make(map[K]*list.Element)
+		// Adopt already-completed jobs (panicked included) in arbitrary
+		// order so a limit set after the fact still bounds the cache.
+		for k, j := range s.jobs {
+			select {
+			case <-j.done:
+				s.lruIdx[k] = s.lru.PushFront(k)
+			default:
+			}
+		}
+	}
+	for s.lru.Len() > s.limit {
+		back := s.lru.Back()
+		k := back.Value.(K)
+		s.lru.Remove(back)
+		delete(s.lruIdx, k)
+		delete(s.jobs, k)
+		s.evictions.Add(1)
+	}
+}
+
+// Evictions returns how many completed results the LRU bound dropped.
+func (s *Scheduler[K, V]) Evictions() int64 { return s.evictions.Load() }
 
 // Cached returns the completed result for key, if any. It never blocks
 // on an in-flight job and does not count toward request stats.

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictionReExecutes(t *testing.T) {
+	s := New[int, int](1)
+	s.SetLimit(2)
+	calls := 0
+	run := func(k int) int {
+		return s.Do(k, func() int { calls++; return k * 10 })
+	}
+	run(1)
+	run(2)
+	run(3) // evicts 1
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if got := run(2); got != 20 || calls != 3 {
+		t.Fatalf("retained key re-ran: val %d calls %d", got, calls)
+	}
+	if got := run(1); got != 10 || calls != 4 {
+		t.Fatalf("evicted key not re-run: val %d calls %d", got, calls)
+	}
+	if s.Evictions() == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if s.Len() > 2 {
+		t.Fatalf("cache holds %d jobs, want <= 2", s.Len())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	s := New[string, int](1)
+	s.SetLimit(2)
+	s.Do("a", func() int { return 1 })
+	s.Do("b", func() int { return 2 })
+	s.Do("a", func() int { t.Fatal("a re-ran"); return 0 }) // refresh a
+	s.Do("c", func() int { return 3 })                      // must evict b, not a
+	ran := false
+	s.Do("a", func() int { ran = true; return 0 })
+	if ran {
+		t.Fatal("recently-used key was evicted")
+	}
+	s.Do("b", func() int { ran = true; return 0 })
+	if !ran {
+		t.Fatal("least-recently-used key survived over-limit insert")
+	}
+}
+
+func TestLRULimitAdoptsExistingAndUnbounds(t *testing.T) {
+	s := New[int, int](1)
+	for k := 0; k < 5; k++ {
+		s.Do(k, func() int { return k })
+	}
+	s.SetLimit(2) // adopt + trim existing results
+	if s.Len() > 2 {
+		t.Fatalf("limit set late kept %d jobs", s.Len())
+	}
+	s.SetLimit(0) // unbounded again: nothing more evicted
+	before := s.Evictions()
+	for k := 10; k < 20; k++ {
+		s.Do(k, func() int { return k })
+	}
+	if s.Evictions() != before {
+		t.Fatal("unbounded scheduler evicted")
+	}
+	if s.Len() < 10 {
+		t.Fatalf("unbounded scheduler dropped results: %d", s.Len())
+	}
+}
+
+func TestLRUBoundsPanickedJobs(t *testing.T) {
+	s := New[int, int](1)
+	s.SetLimit(2)
+	boom := func() int { panic("boom") }
+	mustPanic := func(k int) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("key %d did not panic", k)
+			}
+		}()
+		s.Do(k, boom)
+	}
+	// Panicked jobs must count against the bound instead of
+	// accumulating forever...
+	for k := 0; k < 10; k++ {
+		mustPanic(k)
+	}
+	if s.Len() > 2 {
+		t.Fatalf("panicked jobs escaped the LRU bound: %d retained", s.Len())
+	}
+	// ...and once evicted, a re-request re-executes instead of
+	// replaying the stale panic.
+	ran := false
+	if got := s.Do(0, func() int { ran = true; return 7 }); !ran || got != 7 {
+		t.Fatalf("evicted panicked key did not re-execute: ran=%v got=%d", ran, got)
+	}
+}
+
+func TestLRUConcurrentUse(t *testing.T) {
+	s := New[int, int](4)
+	s.SetLimit(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 32
+				if got := s.Do(k, func() int { return k }); got != k {
+					t.Errorf("Do(%d) = %d", k, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 8 {
+		t.Fatalf("limit not enforced under concurrency: %d", s.Len())
+	}
+}

@@ -164,7 +164,7 @@ func runNormalized(spec RunSpec) RunResult {
 	}
 
 	hier := mem.NewPaper()
-	c := cpu.New(*spec.CPU, trace.NewGenerator(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
+	c := cpu.New(*spec.CPU, trace.SharedStream(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
 	res := RunResult{Spec: spec, Meter: meter}
 	res.CPU = c.RunWarm(spec.Warmup, spec.Insts)
 	res.Hier = hier
@@ -185,6 +185,7 @@ func runNormalized(spec RunSpec) RunResult {
 // count.
 type Batch struct {
 	sched *engine.Scheduler[string, RunResult]
+	disk  *DiskCache
 }
 
 // NewBatch returns a batch bounded to `workers` concurrent
@@ -193,12 +194,55 @@ func NewBatch(workers int) *Batch {
 	return &Batch{sched: engine.New[string, RunResult](workers)}
 }
 
+// NewBatchWithCache is NewBatch plus a disk spill: results are served
+// from (and persisted to) cacheDir, content-addressed by the canonical
+// spec key, so finished simulations are reused across processes — not
+// just within one batch. Results restored from disk carry a nil Hier.
+func NewBatchWithCache(workers int, cacheDir string) (*Batch, error) {
+	d, err := NewDiskCache(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBatch(workers)
+	b.disk = d
+	return b, nil
+}
+
 // Run returns the memoized result for spec, simulating it only if this
-// batch has not seen an equivalent spec before.
+// batch has not seen an equivalent spec before — consulting the disk
+// cache first when one is attached.
 func (b *Batch) Run(spec RunSpec) RunResult {
 	n := Normalize(spec)
-	return b.sched.Do(keyOf(n), func() RunResult { return runNormalized(n) })
+	key := keyOf(n)
+	return b.sched.Do(key, func() RunResult {
+		if b.disk != nil {
+			if r, ok := b.disk.load(key); ok {
+				r.Spec = n
+				return r
+			}
+		}
+		r := runNormalized(n)
+		if b.disk != nil {
+			b.disk.store(key, r)
+		}
+		return r
+	})
 }
+
+// DiskStats reports the attached disk cache's traffic; the zero value
+// when the batch has no disk cache.
+func (b *Batch) DiskStats() DiskCacheStats {
+	if b.disk == nil {
+		return DiskCacheStats{}
+	}
+	return b.disk.Stats()
+}
+
+// SetCacheLimit bounds the in-memory run cache to the n most recently
+// requested results (LRU); n <= 0 removes the bound. Evicted specs
+// re-simulate (or reload from the disk cache) on the next request.
+// Intended for long-lived batches such as services.
+func (b *Batch) SetCacheLimit(n int) { b.sched.SetLimit(n) }
 
 // RunAll executes one simulation per benchmark through the batch
 // (results are deterministic per benchmark; parallelism only reorders

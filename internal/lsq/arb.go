@@ -17,11 +17,95 @@ type ARB struct {
 	addrs     int // addresses per bank
 	inflight  int // P: maximum in-flight memory instructions
 	t         *Tracker
-	bankAddrs []map[uint64]int // per bank: address -> #instructions using it
-	pending   []uint64         // seqs waiting for a bank slot, oldest first
+	bankAddrs []arbBank // per bank: address -> #instructions using it
+	pending   []uint64  // seqs waiting for a bank slot, oldest first
+	placedBuf []uint64  // reused by Tick (see Model.Tick contract)
 
 	placeFails uint64
 	stalls     uint64
+}
+
+// arbBank tracks the in-use addresses of one bank. Banks hold few
+// addresses in the paper's geometries, so a linear array of
+// (word, refcount) pairs is faster than a hash map for the per-cycle
+// placement retries; large-M geometries fall back to a map.
+type arbBank struct {
+	words []arbWord
+	m     map[uint64]int // non-nil only when addrs > arbBankLinearMax
+}
+
+type arbWord struct {
+	w uint64
+	n int
+}
+
+// arbBankLinearMax is the largest per-bank address count served by the
+// linear representation.
+const arbBankLinearMax = 16
+
+func (b *arbBank) len() int {
+	if b.m != nil {
+		return len(b.m)
+	}
+	return len(b.words)
+}
+
+// incr bumps the refcount of w if present, reporting whether it was.
+func (b *arbBank) incr(w uint64) bool {
+	if b.m != nil {
+		if _, ok := b.m[w]; ok {
+			b.m[w]++
+			return true
+		}
+		return false
+	}
+	for i := range b.words {
+		if b.words[i].w == w {
+			b.words[i].n++
+			return true
+		}
+	}
+	return false
+}
+
+func (b *arbBank) insert(w uint64) {
+	if b.m != nil {
+		b.m[w] = 1
+		return
+	}
+	b.words = append(b.words, arbWord{w: w, n: 1})
+}
+
+func (b *arbBank) release(w uint64) {
+	if b.m != nil {
+		if n, ok := b.m[w]; ok {
+			if n <= 1 {
+				delete(b.m, w)
+			} else {
+				b.m[w] = n - 1
+			}
+		}
+		return
+	}
+	for i := range b.words {
+		if b.words[i].w == w {
+			b.words[i].n--
+			if b.words[i].n <= 0 {
+				last := len(b.words) - 1
+				b.words[i] = b.words[last]
+				b.words = b.words[:last]
+			}
+			return
+		}
+	}
+}
+
+func (b *arbBank) clear() {
+	if b.m != nil {
+		clear(b.m)
+		return
+	}
+	b.words = b.words[:0]
 }
 
 // NewARB builds an ARB with banks x addrs geometry and an in-flight
@@ -35,10 +119,12 @@ func NewARB(banks, addrs, inflight int) *ARB {
 		addrs:     addrs,
 		inflight:  inflight,
 		t:         NewTracker(),
-		bankAddrs: make([]map[uint64]int, banks),
+		bankAddrs: make([]arbBank, banks),
 	}
-	for i := range a.bankAddrs {
-		a.bankAddrs[i] = make(map[uint64]int)
+	if addrs > arbBankLinearMax {
+		for i := range a.bankAddrs {
+			a.bankAddrs[i].m = make(map[uint64]int)
+		}
 	}
 	return a
 }
@@ -67,16 +153,14 @@ func (a *ARB) Dispatch(seq uint64, isLoad bool) bool {
 func (a *ARB) tryPlace(op *Op) bool {
 	b := a.bankOf(op.Addr)
 	w := word(op.Addr)
-	bank := a.bankAddrs[b]
-	if _, ok := bank[w]; ok {
-		bank[w]++
-	} else if len(bank) < a.addrs {
-		bank[w] = 1
-	} else {
-		return false
+	bank := &a.bankAddrs[b]
+	if !bank.incr(w) {
+		if bank.len() >= a.addrs {
+			return false
+		}
+		bank.insert(w)
 	}
-	op.Placed = true
-	op.Buffered = false
+	a.t.SetPlaced(op)
 	op.Loc[0] = b
 	return true
 }
@@ -87,12 +171,12 @@ func (a *ARB) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Pla
 	if op == nil {
 		return Placement{Failed: true}
 	}
-	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	a.t.SetAddress(op, addr, size)
 	if a.tryPlace(op) {
 		return Placement{Placed: true}
 	}
 	a.placeFails++
-	op.Buffered = true
+	a.t.SetBuffered(op)
 	a.pending = append(a.pending, seq)
 	return Placement{Buffered: true}
 }
@@ -105,7 +189,7 @@ func (a *ARB) Tick() []uint64 {
 	if len(a.pending) == 0 {
 		return nil
 	}
-	var placed []uint64
+	placed := a.placedBuf[:0]
 	remaining := a.pending[:0]
 	for _, seq := range a.pending {
 		op := a.t.Get(seq)
@@ -119,6 +203,7 @@ func (a *ARB) Tick() []uint64 {
 		}
 	}
 	a.pending = remaining
+	a.placedBuf = placed
 	return placed
 }
 
@@ -154,15 +239,7 @@ func (a *ARB) release(op *Op) {
 	if op == nil || !op.Placed || op.Loc[0] < 0 {
 		return
 	}
-	bank := a.bankAddrs[op.Loc[0]]
-	w := word(op.Addr)
-	if n, ok := bank[w]; ok {
-		if n <= 1 {
-			delete(bank, w)
-		} else {
-			bank[w] = n - 1
-		}
-	}
+	a.bankAddrs[op.Loc[0]].release(word(op.Addr))
 }
 
 // Commit implements Model.
@@ -175,7 +252,7 @@ func (a *ARB) Commit(seq uint64) {
 func (a *ARB) Flush() {
 	a.t.Clear()
 	for i := range a.bankAddrs {
-		a.bankAddrs[i] = make(map[uint64]int)
+		a.bankAddrs[i].clear() // reuse the storage: flushes are frequent under pressure
 	}
 	a.pending = a.pending[:0]
 }

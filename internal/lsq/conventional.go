@@ -69,7 +69,7 @@ func (c *Conventional) Dispatch(seq uint64, isLoad bool) bool {
 		return false
 	}
 	op := c.t.Add(seq, isLoad)
-	op.Placed = true // entry allocated at dispatch
+	c.t.SetPlaced(op) // entry allocated at dispatch
 	return true
 }
 
@@ -80,7 +80,7 @@ func (c *Conventional) AddressReady(seq uint64, isLoad bool, addr uint64, size u
 	if op == nil {
 		return Placement{Failed: true}
 	}
-	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	c.t.SetAddress(op, addr, size)
 	c.meter.ConvRWAddr()
 	if isLoad {
 		c.meter.ConvCompare(c.t.CountOlderKnownStores(seq))
@@ -188,7 +188,7 @@ func (u *Unbounded) Name() string { return "unbounded" }
 // Dispatch implements Model.
 func (u *Unbounded) Dispatch(seq uint64, isLoad bool) bool {
 	op := u.t.Add(seq, isLoad)
-	op.Placed = true
+	u.t.SetPlaced(op)
 	return true
 }
 
@@ -198,7 +198,7 @@ func (u *Unbounded) AddressReady(seq uint64, isLoad bool, addr uint64, size uint
 	if op == nil {
 		return Placement{Failed: true}
 	}
-	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	u.t.SetAddress(op, addr, size)
 	return Placement{Placed: true}
 }
 

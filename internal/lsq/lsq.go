@@ -21,8 +21,6 @@
 // address is known, which is what makes ForwardingSource exact.
 package lsq
 
-import "sort"
-
 // AccessPlan tells the CPU how a Dcache access may be performed.
 type AccessPlan struct {
 	WayKnown  bool // location cached in the LSQ entry: single-way, no tag check
@@ -52,7 +50,10 @@ type Model interface {
 	// AddressReady delivers a computed effective address.
 	AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Placement
 	// Tick runs once per cycle and returns the sequence numbers that
-	// moved from a buffer into the searchable LSQ this cycle.
+	// moved from a buffer into the searchable LSQ this cycle. The
+	// returned slice is only valid until the next Tick call:
+	// implementations reuse it to keep the per-cycle path
+	// allocation-free.
 	Tick() []uint64
 	// Placed reports whether the instruction is searchable (used by
 	// the deadlock check at the ROB head).
@@ -89,6 +90,12 @@ type Model interface {
 }
 
 // Op is the per-instruction record shared by the LSQ models.
+//
+// Addr/Size/AddrKnown and Placed/Buffered must be changed through the
+// owning Tracker's SetAddress / SetPlaced / SetBuffered so the
+// tracker's incremental summary counters (which replace per-op rescans
+// on the simulator hot path) stay coherent. The remaining fields are
+// free for models to use directly.
 type Op struct {
 	Seq       uint64
 	IsLoad    bool
@@ -99,7 +106,16 @@ type Op struct {
 	Buffered  bool
 	Performed bool
 	// Loc holds model-defined placement indices.
-	Loc [3]int
+	Loc [4]int
+
+	slot    int  // physical ring slot (tracker internal)
+	counted bool // contributes to the known+placed summary trees
+
+	// Memoized forwarding-source answer (tracker internal): valid
+	// while fwdEpoch == tracker.storeEpoch+1.
+	fwdEpoch uint64
+	fwdSrc   uint64
+	fwdOK    bool
 }
 
 // Overlaps reports whether the two accesses touch a common byte (both
@@ -113,79 +129,379 @@ func (op *Op) Overlaps(other *Op) bool {
 	return op.Addr < bEnd && other.Addr < aEnd
 }
 
+// fenwick is a binary indexed tree over the tracker's physical ring
+// slots; it answers "how many counted ops in this slot range" in
+// O(log n) so the conventional-LSQ CAM-energy counts need no rescan.
+type fenwick struct {
+	tree []int32
+}
+
+func (f *fenwick) init(n int) {
+	if cap(f.tree) >= n+1 {
+		f.tree = f.tree[:n+1]
+		for i := range f.tree {
+			f.tree[i] = 0
+		}
+	} else {
+		f.tree = make([]int32, n+1)
+	}
+}
+
+func (f *fenwick) add(i int, delta int32) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the count in physical slots [0, i).
+func (f *fenwick) prefix(i int) int {
+	s := int32(0)
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return int(s)
+}
+
 // Tracker keeps the in-flight memory instructions in program order.
 // It is shared by all LSQ models (including the SAMIE-LSQ in package
-// core).
+// core). Storage is an age-ordered ring with a free list of Op
+// records, so steady-state tracking allocates nothing; lookups are
+// O(log n) binary searches over the seq-sorted ring.
 type Tracker struct {
-	ops   []*Op
-	bySeq map[uint64]*Op
+	ops  []*Op // ring storage; an op's physical slot is stable for its lifetime
+	head int
+	n    int
+	free []*Op
+
+	// Incremental summaries of placed ops with known addresses.
+	stores  fenwick // counted stores per slot
+	loads   fenwick // counted loads per slot
+	nStores int
+	nLoads  int
+
+	// storeEpoch advances whenever a store becomes a forwarding
+	// candidate (placed with a known address); it validates the per-op
+	// forwarding memos. candLog keeps the last candWindow candidate
+	// seqs so a slightly-stale memo is repaired by applying just the
+	// delta instead of rescanning the whole window.
+	storeEpoch uint64
+	candLog    [candWindow]uint64
+
+	// seqHint is a direct-mapped pointer table indexed by seq&seqHintMask.
+	// In-flight sequence numbers span at most the ROB window, so for the
+	// simulator this turns Get into one array probe; arbitrary seq
+	// patterns (tests) fall back to the binary search on a miss.
+	seqHint [seqHintSize]*Op
 }
+
+// candWindow bounds how many new-candidate events a forwarding memo
+// may lag behind and still be repaired incrementally.
+const candWindow = 64
+
+const (
+	seqHintSize = 1024
+	seqHintMask = seqHintSize - 1
+)
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{bySeq: make(map[uint64]*Op)}
+	t := &Tracker{ops: make([]*Op, 16)}
+	t.stores.init(len(t.ops))
+	t.loads.init(len(t.ops))
+	return t
+}
+
+func (t *Tracker) physical(logical int) int {
+	i := t.head + logical
+	if i >= len(t.ops) {
+		i -= len(t.ops)
+	}
+	return i
+}
+
+// opAt returns the op at a logical (age-ordered) position.
+func (t *Tracker) opAt(logical int) *Op { return t.ops[t.physical(logical)] }
+
+func (t *Tracker) grow() {
+	old := t.ops
+	nb := make([]*Op, 2*len(old))
+	for i := 0; i < t.n; i++ {
+		op := t.opAt(i)
+		op.slot = i
+		nb[i] = op
+	}
+	t.ops, t.head = nb, 0
+	t.stores.init(len(nb))
+	t.loads.init(len(nb))
+	for i := 0; i < t.n; i++ {
+		if op := nb[i]; op.counted {
+			if op.IsLoad {
+				t.loads.add(op.slot, 1)
+			} else {
+				t.stores.add(op.slot, 1)
+			}
+		}
+	}
 }
 
 // Add registers a new in-flight memory instruction. Sequence numbers
 // must be strictly increasing across Adds.
 func (t *Tracker) Add(seq uint64, isLoad bool) *Op {
-	op := &Op{Seq: seq, IsLoad: isLoad, Loc: [3]int{-1, -1, -1}}
-	t.ops = append(t.ops, op)
-	t.bySeq[seq] = op
+	if t.n == len(t.ops) {
+		t.grow()
+	}
+	var op *Op
+	if k := len(t.free); k > 0 {
+		op = t.free[k-1]
+		t.free = t.free[:k-1]
+	} else {
+		op = &Op{}
+	}
+	*op = Op{Seq: seq, IsLoad: isLoad, Loc: [4]int{-1, -1, -1, -1}}
+	slot := t.physical(t.n)
+	op.slot = slot
+	t.ops[slot] = op
+	t.n++
+	t.seqHint[seq&seqHintMask] = op
 	return op
 }
 
 // Get returns the op for seq, or nil.
-func (t *Tracker) Get(seq uint64) *Op { return t.bySeq[seq] }
+func (t *Tracker) Get(seq uint64) *Op {
+	if op := t.seqHint[seq&seqHintMask]; op != nil && op.Seq == seq {
+		return op
+	}
+	i := t.search(seq)
+	if i < t.n {
+		if op := t.opAt(i); op.Seq == seq {
+			t.seqHint[seq&seqHintMask] = op
+			return op
+		}
+	}
+	return nil
+}
+
+// search returns the first logical position whose Seq >= seq.
+func (t *Tracker) search(seq uint64) int {
+	lo, hi := 0, t.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.opAt(mid).Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // IndexOf returns the position of seq in the ordered list, or -1.
 func (t *Tracker) IndexOf(seq uint64) int {
-	i := sort.Search(len(t.ops), func(i int) bool { return t.ops[i].Seq >= seq })
-	if i < len(t.ops) && t.ops[i].Seq == seq {
+	i := t.search(seq)
+	if i < t.n && t.opAt(i).Seq == seq {
 		return i
 	}
 	return -1
 }
 
+// recount moves op in or out of the known+placed summaries after a
+// state transition.
+func (t *Tracker) recount(op *Op) {
+	want := op.Placed && op.AddrKnown
+	if want == op.counted {
+		return
+	}
+	op.counted = want
+	delta := int32(1)
+	if !want {
+		delta = -1
+	}
+	if op.IsLoad {
+		t.loads.add(op.slot, delta)
+		t.nLoads += int(delta)
+	} else {
+		t.stores.add(op.slot, delta)
+		t.nStores += int(delta)
+		if want {
+			// A new forwarding candidate exists: log it so memoized
+			// forwarding answers can catch up incrementally.
+			t.candLog[t.storeEpoch%candWindow] = op.Seq
+			t.storeEpoch++
+		}
+	}
+}
+
+// SetAddress records the computed effective address for op.
+func (t *Tracker) SetAddress(op *Op, addr uint64, size uint8) {
+	op.Addr, op.Size, op.AddrKnown = addr, size, true
+	if op.IsLoad {
+		op.fwdEpoch = 0 // the op's own memo (if any) predates its address
+	}
+	t.recount(op)
+}
+
+// SetPlaced marks op resident in a searchable LSQ structure.
+func (t *Tracker) SetPlaced(op *Op) {
+	op.Placed, op.Buffered = true, false
+	t.recount(op)
+}
+
+// SetBuffered marks op waiting in a placement buffer.
+func (t *Tracker) SetBuffered(op *Op) { op.Buffered = true }
+
+// uncount removes op from the summaries (at removal time).
+func (t *Tracker) uncount(op *Op) {
+	if !op.counted {
+		return
+	}
+	op.counted = false
+	if op.IsLoad {
+		t.loads.add(op.slot, -1)
+		t.nLoads--
+	} else {
+		t.stores.add(op.slot, -1)
+		t.nStores--
+		// No epoch bump: in-order removal can only retire the youngest
+		// match itself, which the memo hit path detects by presence.
+	}
+}
+
 // Remove drops seq and returns its op; commits arrive in order so this
-// is almost always the front element.
+// is almost always the front element. The returned op is recycled on
+// the next Add — read what you need from it immediately.
 func (t *Tracker) Remove(seq uint64) *Op {
-	op, ok := t.bySeq[seq]
-	if !ok {
+	if t.n == 0 {
 		return nil
 	}
-	delete(t.bySeq, seq)
-	i := t.IndexOf(seq)
-	if i >= 0 {
-		t.ops = append(t.ops[:i], t.ops[i+1:]...)
+	if front := t.ops[t.head]; front.Seq == seq {
+		t.uncount(front)
+		if t.seqHint[seq&seqHintMask] == front {
+			t.seqHint[seq&seqHintMask] = nil
+		}
+		t.ops[t.head] = nil
+		t.head++
+		if t.head == len(t.ops) {
+			t.head = 0
+		}
+		t.n--
+		t.free = append(t.free, front)
+		return front
 	}
+	// Out-of-order removal (not exercised by the CPU, which commits in
+	// order): compact the ring, repositioning every younger op.
+	i := t.IndexOf(seq)
+	if i < 0 {
+		return nil
+	}
+	op := t.opAt(i)
+	t.uncount(op)
+	if t.seqHint[op.Seq&seqHintMask] == op {
+		t.seqHint[op.Seq&seqHintMask] = nil
+	}
+	for j := i; j < t.n-1; j++ {
+		moved := t.opAt(j + 1)
+		if moved.counted {
+			if moved.IsLoad {
+				t.loads.add(moved.slot, -1)
+			} else {
+				t.stores.add(moved.slot, -1)
+			}
+		}
+		moved.slot = t.physical(j)
+		t.ops[moved.slot] = moved
+		if moved.counted {
+			if moved.IsLoad {
+				t.loads.add(moved.slot, 1)
+			} else {
+				t.stores.add(moved.slot, 1)
+			}
+		}
+	}
+	t.ops[t.physical(t.n-1)] = nil
+	t.n--
+	t.free = append(t.free, op)
 	return op
 }
 
 // Clear drops every op.
 func (t *Tracker) Clear() {
-	t.ops = t.ops[:0]
-	t.bySeq = make(map[uint64]*Op)
+	for i := 0; i < t.n; i++ {
+		p := t.physical(i)
+		op := t.ops[p]
+		if t.seqHint[op.Seq&seqHintMask] == op {
+			t.seqHint[op.Seq&seqHintMask] = nil
+		}
+		t.free = append(t.free, op)
+		t.ops[p] = nil
+	}
+	t.head, t.n = 0, 0
+	t.stores.init(len(t.ops))
+	t.loads.init(len(t.ops))
+	t.nStores, t.nLoads = 0, 0
+	t.storeEpoch++
 }
 
 // Len returns the number of tracked ops.
-func (t *Tracker) Len() int { return len(t.ops) }
+func (t *Tracker) Len() int { return t.n }
 
-// Ops returns the ordered in-flight ops (not a copy; callers must not
-// mutate the slice structure).
-func (t *Tracker) Ops() []*Op { return t.ops }
+// olderCounted returns how many counted ops of the given tree sit at
+// logical positions [0, i).
+func (t *Tracker) olderCounted(f *fenwick, i int) int {
+	end := t.head + i
+	if end <= len(t.ops) {
+		return f.prefix(end) - f.prefix(t.head)
+	}
+	return f.prefix(len(t.ops)) - f.prefix(t.head) + f.prefix(end-len(t.ops))
+}
 
 // ForwardingSource scans older placed stores, youngest first, for a
-// byte overlap with the load identified by seq.
+// byte overlap with the load identified by seq. Answers are memoized
+// per load and invalidated when a new forwarding candidate appears
+// (storeEpoch) or the memoized source retires, so the per-cycle retry
+// a waiting load performs is O(log n) instead of a rescan.
 func (t *Tracker) ForwardingSource(seq uint64) (uint64, bool) {
-	op := t.bySeq[seq]
+	op := t.Get(seq)
 	if op == nil || !op.IsLoad {
 		return 0, false
 	}
-	i := t.IndexOf(seq)
+	// A memo records the answer as of candidate-epoch fwdEpoch-1
+	// (fwdEpoch 0 = no memo). If the memo lags by no more than the
+	// candidate log window, repair it by considering only the
+	// candidates that appeared since; otherwise rescan.
+	if op.fwdEpoch > 0 && t.storeEpoch+1-op.fwdEpoch <= candWindow {
+		for e := op.fwdEpoch - 1; e < t.storeEpoch; e++ {
+			cand := t.candLog[e%candWindow]
+			if cand >= seq || (op.fwdOK && cand <= op.fwdSrc) {
+				continue // not older than the load, or not younger than the best
+			}
+			o := t.Get(cand)
+			if o != nil && !o.IsLoad && o.Placed && o.Overlaps(op) {
+				op.fwdSrc, op.fwdOK = cand, true
+			}
+		}
+		op.fwdEpoch = t.storeEpoch + 1
+		if !op.fwdOK {
+			return 0, false
+		}
+		if t.Get(op.fwdSrc) != nil {
+			return op.fwdSrc, true
+		}
+		// The memoized source retired. In-order removal means every
+		// older candidate retired before it, and the delta above holds
+		// every newer one: there is no source now.
+		op.fwdOK = false
+		return 0, false
+	}
+	op.fwdEpoch = t.storeEpoch + 1
+	op.fwdOK = false
+	if t.nStores == 0 {
+		return 0, false
+	}
+	i := t.search(seq) // == IndexOf(seq): op was found by Get above
 	for j := i - 1; j >= 0; j-- {
-		o := t.ops[j]
+		o := t.opAt(j)
 		if !o.IsLoad && o.Placed && o.Overlaps(op) {
+			op.fwdSrc, op.fwdOK = o.Seq, true
 			return o.Seq, true
 		}
 	}
@@ -196,14 +512,10 @@ func (t *Tracker) ForwardingSource(seq uint64) (uint64, bool) {
 // addresses (conventional-LSQ comparison set for a load).
 func (t *Tracker) CountOlderKnownStores(seq uint64) int {
 	i := t.IndexOf(seq)
-	n := 0
-	for j := 0; j < i; j++ {
-		o := t.ops[j]
-		if !o.IsLoad && o.AddrKnown && o.Placed {
-			n++
-		}
+	if i < 0 {
+		return 0
 	}
-	return n
+	return t.olderCounted(&t.stores, i)
 }
 
 // CountYoungerKnownLoads counts placed younger loads with known
@@ -213,12 +525,5 @@ func (t *Tracker) CountYoungerKnownLoads(seq uint64) int {
 	if i < 0 {
 		return 0
 	}
-	n := 0
-	for j := i + 1; j < len(t.ops); j++ {
-		o := t.ops[j]
-		if o.IsLoad && o.AddrKnown && o.Placed {
-			n++
-		}
-	}
-	return n
+	return t.nLoads - t.olderCounted(&t.loads, i+1)
 }

@@ -61,7 +61,8 @@ func TestForwardingSourcePicksYoungest(t *testing.T) {
 	s2 := tr.Add(2, false)
 	l := tr.Add(3, true)
 	for _, op := range []*Op{s1, s2, l} {
-		op.Addr, op.Size, op.AddrKnown, op.Placed = 0x1000, 4, true, true
+		tr.SetAddress(op, 0x1000, 4)
+		tr.SetPlaced(op)
 	}
 	src, ok := tr.ForwardingSource(3)
 	if !ok || src != 2 {
@@ -69,7 +70,8 @@ func TestForwardingSourcePicksYoungest(t *testing.T) {
 	}
 	// A store after the load must not forward.
 	s3 := tr.Add(4, false)
-	s3.Addr, s3.Size, s3.AddrKnown, s3.Placed = 0x1000, 4, true, true
+	tr.SetAddress(s3, 0x1000, 4)
+	tr.SetPlaced(s3)
 	src, ok = tr.ForwardingSource(3)
 	if !ok || src != 2 {
 		t.Fatal("younger store forwarded to older load")
@@ -83,11 +85,13 @@ func TestForwardingSourcePicksYoungest(t *testing.T) {
 func TestCompareCounts(t *testing.T) {
 	tr := NewTracker()
 	s1 := tr.Add(1, false)
-	s1.AddrKnown, s1.Placed = true, true
+	tr.SetAddress(s1, 0x100, 4)
+	tr.SetPlaced(s1)
 	s2 := tr.Add(2, false) // address unknown
-	s2.Placed = true
+	tr.SetPlaced(s2)
 	l := tr.Add(3, true)
-	l.AddrKnown, l.Placed = true, true
+	tr.SetAddress(l, 0x200, 4)
+	tr.SetPlaced(l)
 	if n := tr.CountOlderKnownStores(3); n != 1 {
 		t.Fatalf("older known stores = %d, want 1", n)
 	}

@@ -45,14 +45,24 @@ func (c *Config) Validate() error {
 type entry struct {
 	vpn   uint64
 	valid bool
-	age   uint64
+	// Intrusive LRU list links (slot indices; -1 terminates).
+	prev, next int
 }
 
-// TLB is a fully-associative LRU TLB over 4KB pages.
+// TLB is a fully-associative LRU TLB over 4KB pages. Lookups are O(1):
+// a vpn-indexed map finds the slot and an intrusive doubly-linked list
+// maintains recency, replacing the original timestamp scan over every
+// entry per access. Evicted slots are not deleted from the map — a
+// stale index is detected by re-checking the slot's current vpn — so
+// steady-state lookups allocate nothing; the map is bounded by the
+// distinct pages the workload touches.
 type TLB struct {
 	cfg     Config
 	entries []entry
-	tick    uint64
+	slotOf  map[uint64]int // vpn -> slot hint (validated on use)
+	mru     int            // most recently used slot, -1 when empty
+	lru     int            // least recently used slot, -1 when empty
+	filled  int            // slots ever used (they fill in index order)
 
 	hits, misses uint64
 }
@@ -62,7 +72,41 @@ func New(cfg Config) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}
+	return &TLB{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Entries),
+		slotOf:  make(map[uint64]int),
+		mru:     -1,
+		lru:     -1,
+	}
+}
+
+// detach unlinks slot i from the recency list.
+func (t *TLB) detach(i int) {
+	e := &t.entries[i]
+	if e.prev >= 0 {
+		t.entries[e.prev].next = e.next
+	} else {
+		t.mru = e.next
+	}
+	if e.next >= 0 {
+		t.entries[e.next].prev = e.prev
+	} else {
+		t.lru = e.prev
+	}
+}
+
+// toFront makes slot i the most recently used.
+func (t *TLB) toFront(i int) {
+	e := &t.entries[i]
+	e.prev, e.next = -1, t.mru
+	if t.mru >= 0 {
+		t.entries[t.mru].prev = i
+	}
+	t.mru = i
+	if t.lru < 0 {
+		t.lru = i
+	}
 }
 
 // Config returns the TLB configuration.
@@ -82,24 +126,27 @@ type Translation struct {
 // hit together with the latency in cycles.
 func (t *TLB) Lookup(addr uint64) (hit bool, latency int) {
 	vpn := VPN(addr)
-	t.tick++
-	lru := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.vpn == vpn {
-			e.age = t.tick
-			t.hits++
-			return true, t.cfg.HitLatency
+	if i, ok := t.slotOf[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
+		t.hits++
+		if t.mru != i {
+			t.detach(i)
+			t.toFront(i)
 		}
-		if !t.entries[lru].valid {
-			continue // keep first invalid as victim
-		}
-		if !e.valid || e.age < t.entries[lru].age {
-			lru = i
-		}
+		return true, t.cfg.HitLatency
 	}
 	t.misses++
-	t.entries[lru] = entry{vpn: vpn, valid: true, age: t.tick}
+	var victim int
+	if t.filled < len(t.entries) {
+		victim = t.filled // slots fill in index order, like the original
+		t.filled++
+	} else {
+		victim = t.lru
+		t.detach(victim)
+	}
+	t.entries[victim].vpn = vpn
+	t.entries[victim].valid = true
+	t.toFront(victim)
+	t.slotOf[vpn] = victim
 	return false, t.cfg.HitLatency + t.cfg.MissPenalty
 }
 
@@ -107,12 +154,8 @@ func (t *TLB) Lookup(addr uint64) (hit bool, latency int) {
 // state.
 func (t *TLB) Probe(addr uint64) bool {
 	vpn := VPN(addr)
-	for i := range t.entries {
-		if t.entries[i].valid && t.entries[i].vpn == vpn {
-			return true
-		}
-	}
-	return false
+	i, ok := t.slotOf[vpn]
+	return ok && t.entries[i].valid && t.entries[i].vpn == vpn
 }
 
 // ResetStats zeroes the hit/miss counters (entries are kept). Used at

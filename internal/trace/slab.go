@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"samielsq/internal/isa"
+)
+
+// A Slab lazily materializes the deterministic instruction stream of
+// one Params into a shared, append-only slice. Many simulations of the
+// same workload (the conventional/SAMIE/ARB variants every figure
+// sweeps over) replay the same prefix instead of re-running the
+// generator per simulation; the published prefix is immutable, so
+// readers never take the lock for instructions already materialized.
+type Slab struct {
+	mu    sync.Mutex
+	gen   *Generator
+	insts []isa.Inst
+	bytes atomic.Int64 // materialized footprint, for the cache bound
+}
+
+// slabChunk is the minimum extension granularity.
+const slabChunk = 16 * 1024
+
+// NewSlab builds an empty slab for p.
+func NewSlab(p Params) *Slab { return &Slab{gen: NewGenerator(p)} }
+
+// view returns the materialized prefix, at least n instructions long.
+func (s *Slab) view(n int) []isa.Inst {
+	s.mu.Lock()
+	if len(s.insts) < n {
+		start := len(s.insts)
+		target := start + slabChunk
+		if target < n {
+			target = n
+		}
+		s.insts = append(s.insts, make([]isa.Inst, target-start)...)
+		for i := start; i < target; i++ {
+			s.gen.Next(&s.insts[i])
+		}
+		s.bytes.Store(int64(len(s.insts)) * int64(unsafe.Sizeof(isa.Inst{})))
+	}
+	v := s.insts
+	s.mu.Unlock()
+	return v
+}
+
+// Bytes returns the materialized footprint of the slab.
+func (s *Slab) Bytes() int64 { return s.bytes.Load() }
+
+// Stream returns a fresh cursor over the slab from instruction 0.
+// Streams are independent; a slab may serve any number concurrently.
+func (s *Slab) Stream() *SlabStream { return &SlabStream{slab: s} }
+
+// SlabStream is an isa.Stream cursor over a Slab. Next is
+// allocation-free and lock-free for instructions already materialized.
+type SlabStream struct {
+	slab *Slab
+	v    []isa.Inst
+	pos  int
+}
+
+// Next implements isa.Stream.
+func (ss *SlabStream) Next(out *isa.Inst) bool {
+	if ss.pos >= len(ss.v) {
+		ss.v = ss.slab.view(ss.pos + 1)
+	}
+	*out = ss.v[ss.pos]
+	ss.pos++
+	return true
+}
+
+// slabCache memoizes slabs per Params with an approximate byte bound,
+// evicting least-recently-acquired slabs. Eviction only drops the
+// cache's reference: streams over an evicted slab stay valid.
+var slabCache = struct {
+	mu    sync.Mutex
+	m     map[Params]*slabEntry
+	limit int64
+	tick  int64
+}{m: make(map[Params]*slabEntry), limit: 256 << 20}
+
+type slabEntry struct {
+	slab    *Slab
+	lastUse int64
+}
+
+// SharedStream returns a stream replaying the deterministic trace for
+// p, backed by a process-wide cache of materialized instructions. The
+// sequence is identical to NewGenerator(p); only the generation work
+// is shared.
+func SharedStream(p Params) *SlabStream {
+	c := &slabCache
+	c.mu.Lock()
+	e, ok := c.m[p]
+	if !ok {
+		e = &slabEntry{slab: NewSlab(p)}
+		c.m[p] = e
+	}
+	c.tick++
+	e.lastUse = c.tick
+	// Approximate LRU bound: evict coldest slabs while over budget.
+	// The footprint is re-summed here (acquisition is rare relative to
+	// generation) and lags in-flight growth by design.
+	var used int64
+	for _, v := range c.m {
+		used += v.slab.Bytes()
+	}
+	for used > c.limit && len(c.m) > 1 {
+		var coldK Params
+		var cold *slabEntry
+		for k, v := range c.m {
+			if v != e && (cold == nil || v.lastUse < cold.lastUse) {
+				coldK, cold = k, v
+			}
+		}
+		if cold == nil {
+			break
+		}
+		used -= cold.slab.Bytes()
+		delete(c.m, coldK)
+	}
+	c.mu.Unlock()
+	return e.slab.Stream()
+}
+
+// SetSlabCacheLimit adjusts the byte bound of the shared slab cache
+// (0 restores the default) and returns the previous value. Intended
+// for tests and long-lived services tuning memory.
+func SetSlabCacheLimit(bytes int64) int64 {
+	c := &slabCache
+	c.mu.Lock()
+	prev := c.limit
+	if bytes <= 0 {
+		bytes = 256 << 20
+	}
+	c.limit = bytes
+	c.mu.Unlock()
+	return prev
+}
+
+// SlabCacheLen returns the number of cached slabs (test hook).
+func SlabCacheLen() int {
+	c := &slabCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

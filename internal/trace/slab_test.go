@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"samielsq/internal/isa"
+)
+
+func TestSlabMatchesGenerator(t *testing.T) {
+	p := MustPersonality("gzip")
+	g := NewGenerator(p)
+	ss := NewSlab(p).Stream()
+	var a, b isa.Inst
+	for i := 0; i < 40_000; i++ {
+		if !g.Next(&a) || !ss.Next(&b) {
+			t.Fatal("stream ended")
+		}
+		if a != b {
+			t.Fatalf("inst %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSlabConcurrentStreams(t *testing.T) {
+	p := MustPersonality("swim")
+	slab := NewSlab(p)
+	want := Generate(p, 20_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ss := slab.Stream()
+			var in isa.Inst
+			for i := range want {
+				ss.Next(&in)
+				if in != want[i] {
+					t.Errorf("inst %d differs under concurrency", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSharedStreamCacheAndEviction(t *testing.T) {
+	prev := SetSlabCacheLimit(1) // bytes: evict on every new personality
+	defer SetSlabCacheLimit(prev)
+
+	s1 := SharedStream(MustPersonality("gzip"))
+	var in isa.Inst
+	for i := 0; i < slabChunk; i++ {
+		s1.Next(&in) // materialize beyond the 1-byte budget
+	}
+	SharedStream(MustPersonality("swim")) // must evict gzip's slab
+	if n := SlabCacheLen(); n > 2 {
+		t.Fatalf("slab cache holds %d entries over a 1-byte budget", n)
+	}
+	// The evicted slab's stream keeps working.
+	for i := 0; i < 100; i++ {
+		if !s1.Next(&in) {
+			t.Fatal("stream over evicted slab ended")
+		}
+	}
+	// And a re-acquired stream still replays the identical prefix.
+	s2 := SharedStream(MustPersonality("gzip"))
+	want := Generate(MustPersonality("gzip"), 1000)
+	for i := range want {
+		s2.Next(&in)
+		if in != want[i] {
+			t.Fatalf("re-acquired stream diverged at %d", i)
+		}
+	}
+}
+
+// TestSlabStreamNextZeroAlloc guards the trace side of the hot path.
+func TestSlabStreamNextZeroAlloc(t *testing.T) {
+	ss := SharedStream(MustPersonality("gzip"))
+	var in isa.Inst
+	for i := 0; i < slabChunk; i++ {
+		ss.Next(&in) // materialize the first chunks
+	}
+	fresh := NewSlab(MustPersonality("gzip")).Stream()
+	for i := 0; i < 2*slabChunk; i++ {
+		fresh.Next(&in)
+	}
+	pos := 0
+	if n := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			fresh.Next(&in)
+			pos++
+		}
+	}); n > 1 { // amortized: an occasional chunk extension is one append
+		t.Errorf("SlabStream.Next allocates %.1f per 1000 (amortized budget 1)", n)
+	}
+}
+
+// TestGeneratorNextZeroAlloc pins Generator.Next itself as
+// allocation-free.
+func TestGeneratorNextZeroAlloc(t *testing.T) {
+	g := NewGenerator(MustPersonality("mcf"))
+	var in isa.Inst
+	for i := 0; i < 1000; i++ {
+		g.Next(&in)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			g.Next(&in)
+		}
+	}); n > 0 {
+		t.Errorf("Generator.Next allocates %.1f per 1000 insts, want 0", n)
+	}
+}
+
+func BenchmarkHotPathTraceNext(b *testing.B) {
+	g := NewGenerator(MustPersonality("gzip"))
+	var in isa.Inst
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&in)
+	}
+}
+
+func BenchmarkHotPathSlabNext(b *testing.B) {
+	ss := NewSlab(MustPersonality("gzip")).Stream()
+	var in isa.Inst
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Next(&in)
+	}
+}

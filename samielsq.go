@@ -82,6 +82,18 @@ const (
 // simulations; workers <= 0 means GOMAXPROCS.
 func NewBatch(workers int) *Batch { return experiments.NewBatch(workers) }
 
+// NewBatchWithCache is NewBatch plus an on-disk result spill: finished
+// simulations are persisted to cacheDir, content-addressed by the
+// canonical spec key, and reused across processes. See
+// docs/performance.md ("Result persistence").
+func NewBatchWithCache(workers int, cacheDir string) (*Batch, error) {
+	return experiments.NewBatchWithCache(workers, cacheDir)
+}
+
+// DefaultCacheDir returns the conventional per-user on-disk run-cache
+// location (<user cache dir>/samielsq).
+func DefaultCacheDir() (string, error) { return experiments.DefaultCacheDir() }
+
 // RunSuite regenerates the paper's full evaluation — Figures 1, 3, 4,
 // 5/6 and 7-12 plus the static tables — through one shared batch, so
 // every distinct simulation executes exactly once across all figures.
