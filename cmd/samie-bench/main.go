@@ -15,6 +15,8 @@
 //	samie-bench -scenario models     # run a registered sweep
 //	samie-bench -workers 4 -stats    # bound the pool, print cache stats
 //	samie-bench -cachedir ""         # disable the on-disk run cache
+//	samie-bench -prune -prune-max-bytes 1000000000      # bound the disk cache
+//	samie-bench -server http://host:8344 -fig 5 -fig 6  # remote mode via samie-serve
 //	samie-bench -profile             # measure hot-path throughput
 //	samie-bench -profile -baseline BENCH_hotpath.json   # CI regression gate
 //
@@ -51,6 +53,10 @@ func main() {
 	delays := flag.Bool("delays", false, "regenerate the §3.6 delay analysis only")
 	tables456 := flag.Bool("tables456", false, "print Tables 4/5/6 and model cross-checks only")
 	cachedir := flag.String("cachedir", "auto", `on-disk run cache directory ("auto" = <user cache dir>/samielsq, "" disables)`)
+	serverURL := flag.String("server", "", "run remotely against this samie-serve base URL instead of simulating locally")
+	prune := flag.Bool("prune", false, "prune the on-disk run cache per -prune-max-* and exit")
+	pruneMaxBytes := flag.Int64("prune-max-bytes", 0, "with -prune: keep at most this many artifact bytes (0 = unbounded)")
+	pruneMaxAge := flag.Duration("prune-max-age", 0, "with -prune: drop artifacts older than this (0 = keep forever)")
 	profile := flag.Bool("profile", false, "measure hot-path throughput (insts/sec per model) and exit")
 	profileInsts := flag.Uint64("profile-insts", 50_000, "measured instructions per profile case")
 	profileReps := flag.Int("profile-reps", 3, "repetitions per profile case (best wins)")
@@ -89,6 +95,67 @@ func main() {
 		}
 		return
 	}
+	// Resolve the disk cache directory once; -prune and the local
+	// batch share it.
+	dir := *cachedir
+	if dir == "auto" {
+		var err error
+		if dir, err = experiments.DefaultCacheDir(); err != nil {
+			fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
+			dir = ""
+		}
+	}
+	if *prune {
+		if dir == "" {
+			fmt.Fprintln(os.Stderr, "-prune needs a cache directory (-cachedir)")
+			os.Exit(2)
+		}
+		os.Exit(runPrune(dir, *pruneMaxBytes, *pruneMaxAge))
+	}
+
+	var benchmarks []string // nil = the full suite
+	if *benchCSV != "" {
+		benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	specific := len(figs) > 0 || len(scenarios) > 0 || *table1 || *delays || *tables456
+	want := func(f string) bool {
+		if !specific {
+			return true
+		}
+		for _, g := range figs {
+			if g == f {
+				return true
+			}
+		}
+		return false
+	}
+	energyWanted := false
+	for _, f := range []string{"7", "8", "9", "10", "11", "12"} {
+		if want(f) {
+			energyWanted = true
+		}
+	}
+
+	// Remote mode: the figures and scenarios run on a samie-serve
+	// instance whose long-lived batch dedups work across all clients;
+	// the static tables never simulate, so they render locally.
+	if *serverURL != "" {
+		code := runRemote(*serverURL, benchmarks, *insts, figs, scenarios, *listScenarios, *stats, want, energyWanted)
+		if code == 0 && !*listScenarios {
+			if !specific || *table1 {
+				fmt.Println(experiments.Table1())
+			}
+			if !specific || *delays {
+				fmt.Println(experiments.Delays())
+			}
+			if !specific || *tables456 {
+				fmt.Println(experiments.Tables456String())
+			}
+		}
+		os.Exit(code)
+	}
+
 	if *listScenarios {
 		for _, name := range experiments.ScenarioNames() {
 			sc, _ := experiments.LookupScenario(name)
@@ -106,23 +173,14 @@ func main() {
 		}
 	}
 
-	benchmarks := experiments.Benchmarks()
-	if *benchCSV != "" {
-		benchmarks = strings.Split(*benchCSV, ",")
+	if benchmarks == nil {
+		benchmarks = experiments.Benchmarks()
 	}
 
 	// One batch shared by every figure and scenario this invocation
 	// renders, spilling results to disk unless -cachedir "" asked not
 	// to (a cache failure degrades to the uncached batch).
 	var batch *experiments.Batch
-	dir := *cachedir
-	if dir == "auto" {
-		var err error
-		if dir, err = experiments.DefaultCacheDir(); err != nil {
-			fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
-			dir = ""
-		}
-	}
 	if dir != "" {
 		var err error
 		if batch, err = experiments.NewBatchWithCache(*workers, dir); err != nil {
@@ -132,19 +190,6 @@ func main() {
 	}
 	if batch == nil {
 		batch = experiments.NewBatch(*workers)
-	}
-
-	specific := len(figs) > 0 || len(scenarios) > 0 || *table1 || *delays || *tables456
-	want := func(f string) bool {
-		if !specific {
-			return true
-		}
-		for _, g := range figs {
-			if g == f {
-				return true
-			}
-		}
-		return false
 	}
 
 	if want("1") {
@@ -158,12 +203,6 @@ func main() {
 	}
 	if want("5") || want("6") {
 		fmt.Println(batch.Figure56(benchmarks, *insts))
-	}
-	energyWanted := false
-	for _, f := range []string{"7", "8", "9", "10", "11", "12"} {
-		if want(f) {
-			energyWanted = true
-		}
 	}
 	if energyWanted {
 		fmt.Println(batch.Energy(benchmarks, *insts))

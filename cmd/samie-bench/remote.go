@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"samielsq"
+	"samielsq/pkg/client"
+)
+
+// runRemote executes the requested figures and scenarios against a
+// samie-serve instance instead of simulating locally; the server's
+// long-lived batch dedups the work across every client. Returns a
+// process exit code.
+func runRemote(serverURL string, benchmarks []string, insts uint64, figs, scenarios []string, listScenarios, stats bool, want func(string) bool, energyWanted bool) int {
+	c := client.New(serverURL)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "server %s unreachable: %v\n", serverURL, err)
+		return 1
+	}
+
+	if listScenarios {
+		infos, err := c.Scenarios(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, info := range infos {
+			fmt.Printf("%-20s %s (%d variants)\n", info.Name, info.Description, len(info.Variants))
+		}
+		return 0
+	}
+
+	// Figures render the same text the local harnesses produce; the
+	// bytes come from the server's shared batch.
+	for _, name := range client.FigureNames() {
+		wanted := false
+		switch name {
+		case "56":
+			wanted = want("5") || want("6")
+		case "energy":
+			wanted = energyWanted
+		default:
+			wanted = want(name)
+		}
+		if !wanted {
+			continue
+		}
+		fig, err := c.Figure(ctx, name, benchmarks, insts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(fig.Text)
+	}
+
+	for _, name := range scenarios {
+		res, err := c.RunScenario(ctx, name,
+			client.ScenarioRunRequest{Benchmarks: benchmarks, Insts: insts},
+			func(ev client.ScenarioEvent) {
+				if ev.Type == "cell" {
+					fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", name, ev.Done, ev.Total)
+					if ev.Done == ev.Total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(res.Text)
+	}
+
+	if stats {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("server batch: %d simulations executed, %d of %d requests served from cache (%.0f%% reuse), %d workers\n",
+			st.Engine.Executed, st.Engine.Hits, st.Engine.Requests, 100*st.Engine.HitRate(), st.Workers)
+		if st.CacheDir != "" {
+			fmt.Printf("server disk cache %s: %d hits, %d misses, %d writes\n",
+				st.CacheDir, st.Disk.Hits, st.Disk.Misses, st.Disk.Writes)
+		}
+	}
+	return 0
+}
+
+// runPrune applies the disk-cache bounds and reports what it did.
+// Returns a process exit code.
+func runPrune(dir string, maxBytes int64, maxAge time.Duration) int {
+	ps, err := samielsq.PruneCache(dir, maxBytes, maxAge)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("pruned %s: removed %d artifacts (%d bytes), %d remain (%d bytes)\n",
+		dir, ps.Removed, ps.FreedBytes, ps.Remaining, ps.RemainingBytes)
+	return 0
+}

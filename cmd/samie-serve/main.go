@@ -1,0 +1,191 @@
+// Command samie-serve exposes the shared-run simulation engine as a
+// JSON-over-HTTP service: many clients share one long-lived memoizing
+// Batch (plus its on-disk cache), so concurrent identical requests
+// coalesce into a single simulation and figure regenerations serve
+// from a warm cache. See docs/http-api.md for the endpoint reference.
+//
+// Usage:
+//
+//	samie-serve                          # :8344, disk cache at <user cache dir>/samielsq
+//	samie-serve -addr :9000 -workers 8   # bind + simulation parallelism
+//	samie-serve -cache-limit 4096        # bound the in-memory run cache (LRU)
+//	samie-serve -cache-max-bytes 1000000000 -cache-max-age 720h
+//	samie-serve -preload                 # warm the run cache from the disk index
+//	samie-serve -max-concurrent 64 -request-timeout 5m
+//
+// The process drains gracefully on SIGINT/SIGTERM: in-flight
+// simulations finish (bounded by -shutdown-grace), queued ones are
+// withdrawn.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max admitted simulation requests (default 4x workers); beyond it requests get 429 + Retry-After")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Minute, "per-request deadline for simulation endpoints (0 disables)")
+	defaultInsts := flag.Uint64("default-insts", experiments.DefaultInsts, "instruction budget when a request omits insts")
+	maxInsts := flag.Uint64("max-insts", 10_000_000, "reject requests above this per-run budget (0 = unlimited)")
+	cachedir := flag.String("cachedir", "auto", `on-disk run cache directory ("auto" = <user cache dir>/samielsq, "" disables)`)
+	cacheLimit := flag.Int("cache-limit", 0, "LRU bound on in-memory memoized runs (0 = unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "prune the disk cache to this many bytes (0 = unbounded)")
+	cacheMaxAge := flag.Duration("cache-max-age", 0, "prune disk artifacts older than this (0 = keep forever)")
+	pruneInterval := flag.Duration("cache-prune-interval", 15*time.Minute, "how often to re-apply the disk cache bounds")
+	preload := flag.Bool("preload", false, "preload the in-memory run cache from the disk cache index at startup")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
+	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	// Assemble the shared batch: one memoizing scheduler for every
+	// client of this process, spilling to disk unless -cachedir ""
+	// asked not to (a cache failure degrades to the uncached batch).
+	dir := *cachedir
+	if dir == "auto" {
+		var err error
+		if dir, err = experiments.DefaultCacheDir(); err != nil {
+			log.Warn("disk cache disabled", "err", err)
+			dir = ""
+		}
+	}
+	var batch *experiments.Batch
+	if dir != "" {
+		var err error
+		if batch, err = experiments.NewBatchWithCache(*workers, dir); err != nil {
+			log.Warn("disk cache disabled", "err", err)
+			batch, dir = nil, ""
+		}
+	}
+	if batch == nil {
+		batch = experiments.NewBatch(*workers)
+	}
+	if *cacheLimit > 0 {
+		batch.SetCacheLimit(*cacheLimit)
+	}
+
+	preloaded := 0
+	if dir != "" {
+		// Apply the disk bounds before preloading so a bounded cache
+		// never warms with artifacts it is about to drop.
+		pruneDisk(log, batch, *cacheMaxBytes, *cacheMaxAge)
+		if *preload {
+			n, err := batch.PreloadDisk()
+			if err != nil {
+				log.Warn("preload failed", "err", err)
+			} else {
+				preloaded = n
+				log.Info("preloaded run cache", "runs", n, "dir", dir)
+			}
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Batch:          batch,
+		Logger:         log,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *requestTimeout,
+		DefaultInsts:   *defaultInsts,
+		MaxInsts:       *maxInsts,
+		CacheDir:       dir,
+		Preloaded:      preloaded,
+	})
+	if err != nil {
+		log.Error("config", "err", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen", "err", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// Periodic disk-cache hygiene for long-lived processes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if dir != "" && (*cacheMaxBytes > 0 || *cacheMaxAge > 0) && *pruneInterval > 0 {
+		go func() {
+			t := time.NewTicker(*pruneInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					pruneDisk(log, batch, *cacheMaxBytes, *cacheMaxAge)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Info("samie-serve listening",
+		"addr", ln.Addr().String(),
+		"workers", batch.Workers(),
+		"cachedir", dir,
+		"default_insts", *defaultInsts,
+	)
+
+	select {
+	case err := <-errc:
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let admitted requests (and their
+	// simulations) finish inside the grace window. Queued simulations
+	// whose requests die with the window are withdrawn by their
+	// contexts, so nothing leaks.
+	log.Info("shutting down, draining in-flight simulations", "grace", shutdownGrace.String())
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+	st := batch.Stats()
+	log.Info("stopped", "executed", st.Executed, "hits", st.Hits, "requests", st.Requests)
+}
+
+// pruneDisk applies the disk bounds and logs the outcome.
+func pruneDisk(log *slog.Logger, batch *experiments.Batch, maxBytes int64, maxAge time.Duration) {
+	if maxBytes <= 0 && maxAge <= 0 {
+		return
+	}
+	ps, err := batch.Disk().Prune(maxBytes, maxAge)
+	if err != nil {
+		log.Warn("disk cache prune failed", "err", err)
+		return
+	}
+	log.Info("disk cache pruned",
+		"removed", ps.Removed, "freed_bytes", ps.FreedBytes,
+		"remaining", ps.Remaining, "remaining_bytes", ps.RemainingBytes)
+}

@@ -10,10 +10,20 @@ package samielsq_test
 // matrix stays in the seconds range on one core.
 
 import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"samielsq"
+	"samielsq/internal/server"
+	"samielsq/pkg/client"
 )
 
 // e2eInsts is the per-benchmark instruction budget for simulation
@@ -50,6 +60,10 @@ func TestE2E(t *testing.T) {
 		{"E00012", "static_tables_render", caseStaticTables},
 		{"E00013", "deterministic_across_workers", caseDeterminism},
 		{"E00014", "engine_key_canonicalization", caseKeyCanonicalization},
+		{"E00015", "server_concurrent_runs_coalesce", caseServerRunsCoalesce},
+		{"E00016", "server_figures_match_golden_suite", caseServerFiguresGolden},
+		{"E00017", "server_metrics_exposition_parses", caseServerMetrics},
+		{"E00018", "server_scenario_stream_matches_library", caseServerScenarioStream},
 	}
 	seen := map[string]bool{}
 	for _, c := range cases {
@@ -280,6 +294,166 @@ func caseDeterminism(t *testing.T) {
 	b := samielsq.Compare("gzip", e2eInsts())
 	if a.Conventional.IPC != b.Conventional.IPC || a.SAMIE.IPC != b.SAMIE.IPC {
 		t.Error("repeated Compare not deterministic")
+	}
+}
+
+// bootServer starts the HTTP simulation service over a fresh shared
+// batch on a random port and returns a typed client plus the batch for
+// engine-level assertions.
+func bootServer(t *testing.T) (*client.Client, *samielsq.Batch) {
+	t.Helper()
+	batch := samielsq.NewBatch(0)
+	s, err := server.New(server.Config{
+		Batch:        batch,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultInsts: e2eInsts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), batch
+}
+
+func caseServerRunsCoalesce(t *testing.T) {
+	c, batch := bootServer(t)
+	req := client.RunRequest{Benchmark: "swim", Model: client.ModelSAMIE, Insts: e2eInsts()}
+
+	// Two concurrent identical requests must produce exactly one
+	// underlying simulation: either the second coalesces onto the
+	// in-flight run or it hits the memoized result, but it never
+	// simulates again.
+	var wg sync.WaitGroup
+	results := make([]client.RunResponse, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Run(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if results[0].CPU != results[1].CPU || results[0].Key != results[1].Key {
+		t.Error("concurrent identical requests returned different results")
+	}
+	st := batch.Stats()
+	if st.Executed != 1 || st.Hits != 1 || st.Requests != 2 {
+		t.Fatalf("coalescing failed: %+v, want executed=1 hits=1 requests=2", st)
+	}
+	// The server's own stats endpoint reports the same engine counters.
+	remote, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Engine != st {
+		t.Errorf("/v1/stats engine %+v differs from batch %+v", remote.Engine, st)
+	}
+}
+
+func caseServerFiguresGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figure comparison needs the full budget")
+	}
+	// The byte-for-byte bar: every figure endpoint must render exactly
+	// the text pinned in the golden suite (same benchmarks and budget
+	// as TestSuiteGolden).
+	golden, err := os.ReadFile("internal/experiments/testdata/golden_suite.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenBenchmarks := []string{"ammp", "gzip", "mcf", "swim"}
+	const goldenInsts = 25_000
+
+	c, _ := bootServer(t)
+	for _, fig := range []string{"1", "3", "4", "56", "energy"} {
+		resp, err := c.Figure(context.Background(), fig, goldenBenchmarks, goldenInsts)
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+		if resp.Text == "" || !strings.Contains(string(golden), resp.Text) {
+			t.Errorf("figure %s: server text not byte-identical to the golden suite\nserver:\n%s", fig, resp.Text)
+		}
+	}
+}
+
+func caseServerMetrics(t *testing.T) {
+	c, _ := bootServer(t)
+	if _, err := c.Run(context.Background(),
+		client.RunRequest{Benchmark: "gzip", Model: client.ModelConventional, Insts: e2eInsts()}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q", line)
+		}
+		values[fields[0]] = v
+	}
+	if values["samie_engine_executed_total"] != 1 {
+		t.Errorf("samie_engine_executed_total = %v, want 1", values["samie_engine_executed_total"])
+	}
+	for _, name := range []string{
+		"samie_engine_requests_total", "samie_engine_hits_total", "samie_engine_inflight",
+		"samie_disk_cache_hits_total", "samie_http_requests_total", "samie_http_throttled_total",
+		"samie_uptime_seconds", "samie_process_goroutines",
+	} {
+		if _, ok := values[name]; !ok {
+			t.Errorf("metric %s missing", name)
+		}
+	}
+}
+
+func caseServerScenarioStream(t *testing.T) {
+	c, _ := bootServer(t)
+	var cells, finals int
+	streamed, err := c.RunScenario(context.Background(), "distrib-banking",
+		client.ScenarioRunRequest{Benchmarks: e2eBench[:1], Insts: e2eInsts()},
+		func(ev client.ScenarioEvent) {
+			switch ev.Type {
+			case "cell":
+				cells++
+			case "result":
+				finals++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != 3 || finals != 1 {
+		t.Errorf("saw %d cell and %d result events, want 3 and 1", cells, finals)
+	}
+	direct, err := samielsq.RunScenario("distrib-banking", e2eBench[:1], e2eInsts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Text != direct.String() {
+		t.Errorf("streamed sweep differs from library harness\nserver:\n%s\nlibrary:\n%s",
+			streamed.Text, direct.String())
+	}
+	// Unknown scenarios surface as typed 404s through the client.
+	if _, err := c.RunScenario(context.Background(), "no-such-sweep", client.ScenarioRunRequest{}, nil); err == nil {
+		t.Fatal("unknown scenario did not error")
+	} else if ae, ok := err.(*client.APIError); !ok || ae.Status != http.StatusNotFound {
+		t.Fatalf("want *APIError 404, got %v", err)
 	}
 }
 

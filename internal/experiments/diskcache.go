@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"samielsq/internal/core"
 	"samielsq/internal/cpu"
@@ -19,8 +21,9 @@ import (
 
 // diskCacheVersion tags the on-disk artifact format; bump it whenever
 // RunResult's persisted shape changes so stale artifacts are treated
-// as misses instead of being misread.
-const diskCacheVersion = 1
+// as misses instead of being misread. Version 2 added the normalized
+// Spec so whole-suite preloading can reconstruct complete results.
+const diskCacheVersion = 2
 
 // simStamp identifies the simulator build that produced an artifact.
 // A spec key alone is not enough: a later commit may change simulation
@@ -60,6 +63,7 @@ type diskArtifact struct {
 	Version int
 	Sim     string // simulator build stamp (see simStamp)
 	Key     string
+	Spec    RunSpec // normalized; lets preloaded results keep their identity
 	CPU     cpu.Result
 	Meter   *energy.Meter
 	SAMIE   core.Stats
@@ -81,13 +85,47 @@ type DiskCacheStats struct {
 // misses and are repaired by the rewrite after re-simulation.
 // Concurrent writers are safe: artifacts are written to a unique temp
 // file and atomically renamed into place.
+//
+// Alongside the artifacts the cache maintains index.json, a key ->
+// file map that lets a fresh process enumerate (and preload) the whole
+// cache without reading every artifact body. The index is an
+// accelerator, never an authority: per-key loads go straight to the
+// content-addressed file, and a stale or missing index is rebuilt by
+// RebuildIndex. Concurrent processes rewrite it atomically
+// (last-writer-wins); keys a racing process added are still served by
+// load, merely absent from this process's enumeration.
 type DiskCache struct {
 	dir string
 
 	hits, misses, writes atomic.Int64
+
+	mu  sync.Mutex
+	idx map[string]indexEntry
+
+	// idxWriteMu serializes index.json rewrites so a newer snapshot is
+	// never clobbered by an older one racing its rename.
+	idxWriteMu sync.Mutex
 }
 
-// NewDiskCache opens (creating if needed) a cache rooted at dir.
+// indexFile is the cache-directory index name.
+const indexFile = "index.json"
+
+// indexEntry locates one artifact from the index.
+type indexEntry struct {
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+	Mod   int64  `json:"mod"` // unix seconds
+}
+
+// diskIndex is the persisted index shape.
+type diskIndex struct {
+	Version int
+	Sim     string
+	Keys    map[string]indexEntry
+}
+
+// NewDiskCache opens (creating if needed) a cache rooted at dir,
+// adopting a compatible existing index.
 func NewDiskCache(dir string) (*DiskCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("experiments: empty disk cache directory")
@@ -95,7 +133,15 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiments: disk cache: %w", err)
 	}
-	return &DiskCache{dir: dir}, nil
+	d := &DiskCache{dir: dir, idx: map[string]indexEntry{}}
+	if data, err := os.ReadFile(filepath.Join(dir, indexFile)); err == nil {
+		var ix diskIndex
+		if json.Unmarshal(data, &ix) == nil &&
+			ix.Version == diskCacheVersion && ix.Sim == simStamp() && ix.Keys != nil {
+			d.idx = ix.Keys
+		}
+	}
+	return d, nil
 }
 
 // DefaultCacheDir returns the conventional per-user cache location
@@ -126,11 +172,23 @@ func (d *DiskCache) path(key string) string {
 	return filepath.Join(d.dir, "run-"+hex.EncodeToString(sum[:])+".json")
 }
 
-// load returns the cached result for key, if a valid artifact exists.
+// load returns the cached result for key, if a valid artifact exists,
+// counting a hit or miss.
 func (d *DiskCache) load(key string) (RunResult, bool) {
+	r, ok := d.read(key)
+	if ok {
+		d.hits.Add(1)
+	} else {
+		d.misses.Add(1)
+	}
+	return r, ok
+}
+
+// read is load without the traffic accounting; preloading uses it so
+// warming a batch does not masquerade as request traffic.
+func (d *DiskCache) read(key string) (RunResult, bool) {
 	data, err := os.ReadFile(d.path(key))
 	if err != nil {
-		d.misses.Add(1)
 		return RunResult{}, false
 	}
 	var art diskArtifact
@@ -140,11 +198,9 @@ func (d *DiskCache) load(key string) (RunResult, bool) {
 		// Corrupt, truncated, produced by a different simulator build,
 		// version-skewed or hash-collided: treat as a miss; the
 		// post-simulation store rewrites it.
-		d.misses.Add(1)
 		return RunResult{}, false
 	}
-	d.hits.Add(1)
-	return RunResult{CPU: art.CPU, Meter: art.Meter, SAMIE: art.SAMIE, Conv: art.Conv}, true
+	return RunResult{Spec: art.Spec, CPU: art.CPU, Meter: art.Meter, SAMIE: art.SAMIE, Conv: art.Conv}, true
 }
 
 // store persists a result. Failures are silent by design: the cache is
@@ -154,6 +210,7 @@ func (d *DiskCache) store(key string, res RunResult) {
 		Version: diskCacheVersion,
 		Sim:     simStamp(),
 		Key:     key,
+		Spec:    res.Spec,
 		CPU:     res.CPU,
 		Meter:   res.Meter,
 		SAMIE:   res.SAMIE,
@@ -177,9 +234,174 @@ func (d *DiskCache) store(key string, res RunResult) {
 		os.Remove(name)
 		return
 	}
-	if err := os.Rename(name, d.path(key)); err != nil {
+	path := d.path(key)
+	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return
 	}
 	d.writes.Add(1)
+	d.mu.Lock()
+	d.idx[key] = indexEntry{File: filepath.Base(path), Bytes: int64(len(data)), Mod: time.Now().Unix()}
+	d.mu.Unlock()
+	d.flushIndex()
+}
+
+// flushIndex atomically rewrites index.json from a snapshot of the
+// in-memory index. The marshal and file I/O happen outside d.mu, so
+// workers persisting results only contend on the map update, never on
+// disk writes; idxWriteMu orders the snapshots. Failures are silent
+// (accelerator, not authority; RebuildIndex repairs).
+func (d *DiskCache) flushIndex() {
+	d.idxWriteMu.Lock()
+	defer d.idxWriteMu.Unlock()
+	d.mu.Lock()
+	snap := make(map[string]indexEntry, len(d.idx))
+	for k, e := range d.idx {
+		snap[k] = e
+	}
+	d.mu.Unlock()
+	data, err := json.Marshal(diskIndex{Version: diskCacheVersion, Sim: simStamp(), Keys: snap})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-index-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil && tmp.Close() == nil {
+		if os.Rename(name, filepath.Join(d.dir, indexFile)) == nil {
+			return
+		}
+	} else {
+		tmp.Close()
+	}
+	os.Remove(name)
+}
+
+// Keys returns the indexed artifact keys, sorted, without touching any
+// artifact body.
+func (d *DiskCache) Keys() []string {
+	d.mu.Lock()
+	keys := make([]string, 0, len(d.idx))
+	for k := range d.idx {
+		keys = append(keys, k)
+	}
+	d.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// RebuildIndex rescans the cache directory, validating every artifact
+// body, and rewrites index.json from what it finds. Use it to adopt
+// artifacts written by other processes or to repair a lost index.
+// Returns the number of valid artifacts indexed.
+func (d *DiskCache) RebuildIndex() (int, error) {
+	files, err := filepath.Glob(filepath.Join(d.dir, "run-*.json"))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: disk cache scan: %w", err)
+	}
+	fresh := map[string]indexEntry{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		var art diskArtifact
+		if json.Unmarshal(data, &art) != nil ||
+			art.Version != diskCacheVersion || art.Sim != simStamp() ||
+			art.Key == "" || d.path(art.Key) != f || art.Meter == nil {
+			continue
+		}
+		st, err := os.Stat(f)
+		if err != nil {
+			continue
+		}
+		fresh[art.Key] = indexEntry{File: filepath.Base(f), Bytes: st.Size(), Mod: st.ModTime().Unix()}
+	}
+	d.mu.Lock()
+	d.idx = fresh
+	d.mu.Unlock()
+	d.flushIndex()
+	return len(fresh), nil
+}
+
+// PruneStats reports what a Prune pass did and what it left behind.
+type PruneStats struct {
+	Removed        int   // artifacts deleted
+	FreedBytes     int64 // bytes those artifacts occupied
+	Remaining      int   // artifacts kept
+	RemainingBytes int64 // bytes they occupy
+}
+
+// Prune bounds the cache: artifacts older than maxAge are removed, and
+// if the survivors still exceed maxBytes the oldest are removed until
+// they fit. A zero maxAge or maxBytes disables that bound (Prune(0, 0)
+// only sweeps leftover temp files). Stale temp files from killed
+// writers are always collected. The index is rewritten to match.
+func (d *DiskCache) Prune(maxBytes int64, maxAge time.Duration) (PruneStats, error) {
+	type artifact struct {
+		path  string
+		bytes int64
+		mod   time.Time
+	}
+	files, err := filepath.Glob(filepath.Join(d.dir, "run-*.json"))
+	if err != nil {
+		return PruneStats{}, fmt.Errorf("experiments: disk cache prune: %w", err)
+	}
+	arts := make([]artifact, 0, len(files))
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			continue
+		}
+		arts = append(arts, artifact{f, st.Size(), st.ModTime()})
+	}
+	sort.Slice(arts, func(i, j int) bool { return arts[i].mod.Before(arts[j].mod) })
+
+	now := time.Now()
+	var ps PruneStats
+	var total int64
+	for _, a := range arts {
+		total += a.bytes
+	}
+	doomed := map[string]bool{}
+	for _, a := range arts {
+		expired := maxAge > 0 && now.Sub(a.mod) > maxAge
+		over := maxBytes > 0 && total > maxBytes
+		if !expired && !over {
+			ps.Remaining++
+			ps.RemainingBytes += a.bytes
+			continue
+		}
+		if err := os.Remove(a.path); err != nil && !os.IsNotExist(err) {
+			// Undeletable file still occupies space; count it as kept.
+			ps.Remaining++
+			ps.RemainingBytes += a.bytes
+			continue
+		}
+		doomed[filepath.Base(a.path)] = true
+		ps.Removed++
+		ps.FreedBytes += a.bytes
+		total -= a.bytes
+	}
+
+	// Temp files orphaned by killed writers: anything older than an
+	// hour was abandoned, not in-flight.
+	tmps, _ := filepath.Glob(filepath.Join(d.dir, "tmp-*"))
+	for _, f := range tmps {
+		if st, err := os.Stat(f); err == nil && now.Sub(st.ModTime()) > time.Hour {
+			os.Remove(f)
+		}
+	}
+
+	d.mu.Lock()
+	for k, e := range d.idx {
+		if doomed[e.File] {
+			delete(d.idx, k)
+		}
+	}
+	d.mu.Unlock()
+	d.flushIndex()
+	return ps, nil
 }

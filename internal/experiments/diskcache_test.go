@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 // cacheTestSpec is a tiny simulation so the cache tests stay fast.
@@ -135,6 +137,187 @@ func TestDiskCacheDisabledCleanly(t *testing.T) {
 	if st := b.DiskStats(); st != (DiskCacheStats{}) {
 		t.Fatalf("cacheless batch reported disk traffic: %+v", st)
 	}
+}
+
+// specFor is cacheTestSpec for an arbitrary benchmark.
+func specFor(bench string) RunSpec {
+	s := cacheTestSpec()
+	s.Benchmark = bench
+	return s
+}
+
+func TestDiskCacheIndexAndPreload(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]RunResult{}
+	for _, bench := range []string{"gzip", "swim"} {
+		want[bench] = b1.Run(specFor(bench))
+	}
+	if keys := b1.Disk().Keys(); len(keys) != 2 {
+		t.Fatalf("index holds %d keys after 2 stores, want 2", len(keys))
+	}
+
+	// A fresh batch over the same directory preloads the whole suite
+	// from the index: both specs then serve from memory with zero
+	// simulations and zero disk traffic.
+	b2, err := NewBatchWithCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b2.PreloadDisk()
+	if err != nil || n != 2 {
+		t.Fatalf("PreloadDisk = %d, %v; want 2, nil", n, err)
+	}
+	for _, bench := range []string{"gzip", "swim"} {
+		r, err := b2.RunCtx(context.Background(), specFor(bench))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CPU != want[bench].CPU {
+			t.Errorf("%s: preloaded CPU result differs", bench)
+		}
+		if r.Spec.Benchmark != bench || r.Spec.SAMIE == nil {
+			t.Errorf("%s: preloaded result lost its normalized spec: %+v", bench, r.Spec)
+		}
+	}
+	st := b2.Stats()
+	if st.Executed != 0 || st.Hits != 2 {
+		t.Fatalf("preloaded batch stats %+v, want executed=0 hits=2", st)
+	}
+	if ds := b2.DiskStats(); ds.Hits != 0 || ds.Misses != 0 {
+		t.Fatalf("preload counted as disk traffic: %+v", ds)
+	}
+
+	// Preloading an uncached batch is a configuration error.
+	if _, err := NewBatch(1).PreloadDisk(); err == nil {
+		t.Fatal("PreloadDisk on a cacheless batch did not error")
+	}
+}
+
+func TestDiskCacheRebuildIndex(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(specFor("gzip"))
+	b.Run(specFor("mcf"))
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without an index a fresh cache enumerates nothing...
+	d, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := d.Keys(); len(keys) != 0 {
+		t.Fatalf("lost index still enumerates %d keys", len(keys))
+	}
+	// ...and RebuildIndex recovers every valid artifact, skipping junk.
+	if err := os.WriteFile(filepath.Join(dir, "run-zz.json"), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.RebuildIndex()
+	if err != nil || n != 2 {
+		t.Fatalf("RebuildIndex = %d, %v; want 2, nil", n, err)
+	}
+	if keys := d.Keys(); len(keys) != 2 {
+		t.Fatalf("rebuilt index holds %d keys, want 2", len(keys))
+	}
+}
+
+func TestDiskCachePruneBySize(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"gzip", "swim", "mcf"} {
+		b.Run(specFor(bench))
+	}
+	files := artifactFiles(t, dir)
+	if len(files) != 3 {
+		t.Fatalf("have %d artifacts, want 3", len(files))
+	}
+	// Distinct mtimes so "oldest first" is deterministic.
+	for i, p := range files {
+		mt := time.Now().Add(-time.Duration(len(files)-i) * time.Hour)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var one int64
+	if st, err := os.Stat(files[0]); err == nil {
+		one = st.Size()
+	}
+	// Keep roughly one artifact's worth of bytes.
+	ps, err := b.Disk().Prune(one+16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Removed != 2 || ps.Remaining != 1 {
+		t.Fatalf("prune stats %+v, want 2 removed, 1 remaining", ps)
+	}
+	if got := artifactFiles(t, dir); len(got) != 1 {
+		t.Fatalf("%d artifacts survive, want 1", len(got))
+	}
+	if keys := b.Disk().Keys(); len(keys) != 1 {
+		t.Fatalf("index holds %d keys after prune, want 1", len(keys))
+	}
+}
+
+func TestDiskCachePruneByAge(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(specFor("gzip"))
+	b.Run(specFor("swim"))
+	gzipArt := b.Disk().path(Key(specFor("gzip")))
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(gzipArt, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A stale temp file from a killed writer is collected too.
+	stale := filepath.Join(dir, "tmp-run-dead")
+	if err := os.WriteFile(stale, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	ps, err := b.Disk().Prune(0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Removed != 1 || ps.Remaining != 1 {
+		t.Fatalf("prune stats %+v, want 1 removed, 1 remaining", ps)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the prune")
+	}
+	// The unexpired artifact still serves.
+	nb, _ := NewBatchWithCache(1, dir)
+	nb.Run(specFor("swim"))
+	if st := nb.DiskStats(); st.Hits != 1 {
+		t.Fatalf("surviving artifact no longer serves: %+v", st)
+	}
+}
+
+// artifactFiles lists the run artifacts sorted by name.
+func artifactFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
 }
 
 func TestBatchCacheLimitLRU(t *testing.T) {

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,9 +22,12 @@ import (
 
 // Stats is the scheduler's request accounting.
 type Stats struct {
-	Requests int64 // total Do calls
-	Executed int64 // jobs actually run (distinct keys)
-	Hits     int64 // requests served from cache or coalesced onto an in-flight run
+	Requests  int64 // total Do/DoCtx calls
+	Executed  int64 // jobs actually run (distinct keys)
+	Hits      int64 // requests served from cache or coalesced onto an in-flight run
+	Inflight  int64 // jobs holding a worker slot right now
+	Canceled  int64 // requests abandoned via context before completing
+	Evictions int64 // completed results dropped by the LRU bound
 }
 
 // HitRate returns Hits/Requests, or 0 with no requests.
@@ -54,12 +58,15 @@ type Scheduler[K comparable, V any] struct {
 	executed  atomic.Int64
 	hits      atomic.Int64
 	evictions atomic.Int64
+	inflight  atomic.Int64
+	canceled  atomic.Int64
 }
 
 type job[V any] struct {
 	done     chan struct{}
 	val      V
-	panicked any // non-nil if run() panicked; re-raised in every caller
+	panicked any   // non-nil if run() panicked; re-raised in every caller
+	err      error // non-nil if the owning request was canceled while queued
 }
 
 // New returns a scheduler bounded to `workers` concurrent jobs;
@@ -83,6 +90,29 @@ func New[K comparable, V any](workers int) *Scheduler[K, V] {
 // same scheduler (jobs holding worker slots waiting on other jobs can
 // deadlock the pool).
 func (s *Scheduler[K, V]) Do(key K, run func() V) V {
+	for {
+		v, err := s.DoCtx(context.Background(), key, run)
+		if err == nil {
+			return v
+		}
+		// With a background context the only error path is coalescing
+		// onto a job whose owner was canceled while queued; the key has
+		// already been withdrawn, so retrying re-executes it.
+	}
+}
+
+// DoCtx is Do with cancellation. The context governs this request, not
+// the shared execution: a waiter that coalesced onto an in-flight run
+// stops waiting when ctx fires (the run continues for the others),
+// while the owning request — the first for its key — cancels the job
+// outright if ctx fires before a worker slot frees up, withdrawing the
+// key so a later request re-executes it. Waiters that had coalesced
+// onto a withdrawn job receive the owner's cancellation error; Do
+// retries it transparently, DoCtx callers see context.Canceled (or
+// DeadlineExceeded) and decide themselves. Once a job has started
+// running it always runs to completion: simulations are memoized
+// forever, so finishing work someone already paid for is never waste.
+func (s *Scheduler[K, V]) DoCtx(ctx context.Context, key K, run func() V) (V, error) {
 	s.requests.Add(1)
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok {
@@ -91,20 +121,42 @@ func (s *Scheduler[K, V]) Do(key K, run func() V) V {
 		}
 		s.mu.Unlock()
 		s.hits.Add(1)
-		<-j.done
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			s.canceled.Add(1)
+			return *new(V), ctx.Err()
+		}
 		if j.panicked != nil {
 			panic(j.panicked)
 		}
-		return j.val
+		if j.err != nil {
+			return *new(V), j.err
+		}
+		return j.val, nil
 	}
 	j := &job[V]{done: make(chan struct{})}
 	s.jobs[key] = j
 	s.mu.Unlock()
 
-	s.slots <- struct{}{}
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.withdraw(key, j, ctx.Err())
+		return *new(V), ctx.Err()
+	}
+	// The slot acquisition can race a cancellation; prefer the
+	// cancellation so a disconnected client never starts a simulation.
+	if err := ctx.Err(); err != nil {
+		<-s.slots
+		s.withdraw(key, j, err)
+		return *new(V), err
+	}
+	s.inflight.Add(1)
 	func() {
 		defer func() {
 			j.panicked = recover()
+			s.inflight.Add(-1)
 			<-s.slots
 			s.executed.Add(1)
 			close(j.done)
@@ -115,7 +167,39 @@ func (s *Scheduler[K, V]) Do(key K, run func() V) V {
 	if j.panicked != nil {
 		panic(j.panicked)
 	}
-	return j.val
+	return j.val, nil
+}
+
+// withdraw removes a never-started job so future requests re-execute,
+// and releases every waiter that coalesced onto it with err.
+func (s *Scheduler[K, V]) withdraw(key K, j *job[V], err error) {
+	s.mu.Lock()
+	// Only withdraw the job if it is still ours: the map cannot have
+	// been replaced (replacement requires the key absent, and we only
+	// delete it here), so this is a plain delete.
+	delete(s.jobs, key)
+	s.mu.Unlock()
+	j.err = err
+	s.canceled.Add(1)
+	close(j.done)
+}
+
+// Offer registers an already-computed result for key if the scheduler
+// has no job for it, without counting toward the request stats. Used
+// to preload a long-lived scheduler from a persistent cache. Returns
+// whether the value was installed.
+func (s *Scheduler[K, V]) Offer(key K, val V) bool {
+	s.mu.Lock()
+	if _, ok := s.jobs[key]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	j := &job[V]{done: make(chan struct{}), val: val}
+	close(j.done)
+	s.jobs[key] = j
+	s.mu.Unlock()
+	s.noteCompleted(key)
+	return true
 }
 
 // noteCompleted registers a finished execution with the LRU bound and
@@ -193,7 +277,7 @@ func (s *Scheduler[K, V]) Cached(key K) (V, bool) {
 	}
 	select {
 	case <-j.done:
-		if j.panicked != nil {
+		if j.panicked != nil || j.err != nil {
 			return *new(V), false
 		}
 		return j.val, true
@@ -216,8 +300,11 @@ func (s *Scheduler[K, V]) Workers() int { return cap(s.slots) }
 // Stats returns a snapshot of the request accounting.
 func (s *Scheduler[K, V]) Stats() Stats {
 	return Stats{
-		Requests: s.requests.Load(),
-		Executed: s.executed.Load(),
-		Hits:     s.hits.Load(),
+		Requests:  s.requests.Load(),
+		Executed:  s.executed.Load(),
+		Hits:      s.hits.Load(),
+		Inflight:  s.inflight.Load(),
+		Canceled:  s.canceled.Load(),
+		Evictions: s.evictions.Load(),
 	}
 }

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestDoMemoizes verifies the exactly-once contract: any number of
@@ -198,6 +201,157 @@ func TestPanicSafety(t *testing.T) {
 	}
 	if st := s.Stats(); st.Executed != 2 {
 		t.Fatalf("executed %d, want 2 (panicked job counts as executed)", st.Executed)
+	}
+}
+
+// TestDoCtxCancelWhileQueued verifies the satellite fix: a request
+// canceled while waiting for a worker slot (queued, never started)
+// releases immediately, does not leak the slot, and withdraws the key
+// so a later request re-executes it.
+func TestDoCtxCancelWhileQueued(t *testing.T) {
+	s := New[string, int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do("hog", func() int { close(started); <-release; return 1 })
+	<-started
+
+	// The pool's only slot is held; this request queues behind it.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.DoCtx(ctx, "queued", func() int {
+			t.Error("canceled job ran")
+			return 0
+		})
+		errc <- err
+	}()
+	// Wait until the request has registered its job, then cancel it.
+	for s.Len() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DoCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled request did not release")
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("canceled count %d, want 1", st.Canceled)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("withdrawn key still registered: Len = %d, want 1", s.Len())
+	}
+
+	// The slot was never consumed by the canceled request: finishing the
+	// hog and re-requesting the key must execute it fresh.
+	close(release)
+	var ran atomic.Int32
+	v, err := s.DoCtx(context.Background(), "queued", func() int { ran.Add(1); return 7 })
+	if err != nil || v != 7 || ran.Load() != 1 {
+		t.Fatalf("re-request after cancel: v=%d err=%v ran=%d, want 7,nil,1", v, err, ran.Load())
+	}
+}
+
+// TestDoCtxWaiterCancel verifies a waiter that coalesced onto an
+// in-flight run can abandon it without affecting the run or the other
+// waiters.
+func TestDoCtxWaiterCancel(t *testing.T) {
+	s := New[string, int](2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do("slow", func() int { close(started); <-release; return 42 })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DoCtx(ctx, "slow", func() int { return 0 }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter got %v, want context.Canceled", err)
+	}
+	// The run is unaffected: it completes and serves future requests.
+	close(release)
+	if v := s.Do("slow", func() int { t.Error("re-ran"); return 0 }); v != 42 {
+		t.Fatalf("got %d, want 42", v)
+	}
+}
+
+// TestDoRetriesWithdrawnJob verifies a plain Do that coalesced onto a
+// job withdrawn by its canceled owner transparently re-executes it.
+func TestDoRetriesWithdrawnJob(t *testing.T) {
+	s := New[string, int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do("hog", func() int { close(started); <-release; return 1 })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := s.DoCtx(ctx, "contended", func() int { return 0 })
+		ownerErr <- err
+	}()
+	for s.Len() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// A plain Do coalesces onto the queued owner's job...
+	got := make(chan int, 1)
+	go func() { got <- s.Do("contended", func() int { return 9 }) }()
+	// Give the Do waiter a moment to block on the shared job, then
+	// cancel the owner: Do must retry and still produce the value once
+	// the pool frees up.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner got %v, want context.Canceled", err)
+	}
+	close(release)
+	select {
+	case v := <-got:
+		if v != 9 {
+			t.Fatalf("Do returned %d, want 9", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do never recovered from the withdrawn job")
+	}
+}
+
+// TestOffer verifies preloaded values are served without executing and
+// never overwrite an existing job.
+func TestOffer(t *testing.T) {
+	s := New[string, int](1)
+	if !s.Offer("warm", 5) {
+		t.Fatal("Offer rejected a fresh key")
+	}
+	if s.Offer("warm", 6) {
+		t.Fatal("Offer overwrote an existing result")
+	}
+	if v := s.Do("warm", func() int { t.Error("preloaded key executed"); return 0 }); v != 5 {
+		t.Fatalf("got %d, want 5", v)
+	}
+	st := s.Stats()
+	if st.Executed != 0 || st.Hits != 1 || st.Requests != 1 {
+		t.Fatalf("stats %+v, want executed=0 hits=1 requests=1", st)
+	}
+	if v, ok := s.Cached("warm"); !ok || v != 5 {
+		t.Fatalf("Cached = %d,%v, want 5,true", v, ok)
+	}
+}
+
+// TestOfferRespectsLimit verifies offered results participate in the
+// LRU bound like executed ones.
+func TestOfferRespectsLimit(t *testing.T) {
+	s := New[int, int](1)
+	s.SetLimit(2)
+	for k := 0; k < 5; k++ {
+		s.Offer(k, k*10)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 under limit", s.Len())
+	}
+	if s.Evictions() != 3 {
+		t.Fatalf("evictions %d, want 3", s.Evictions())
 	}
 }
 

@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -75,6 +76,16 @@ type RunResult struct {
 	Hier  *mem.Hierarchy
 	SAMIE core.Stats         // populated for ModelSAMIE
 	Conv  lsq.OccupancyStats // populated for ModelConventional
+}
+
+// LSQEnergyNJ returns the headline LSQ dynamic energy in nJ: the
+// conventional LSQ's or the SAMIE structures' total, whichever the
+// model accounts.
+func (r RunResult) LSQEnergyNJ() float64 {
+	if r.Meter == nil {
+		return 0
+	}
+	return (r.Meter.ConvLSQ + r.Meter.SAMIETotal()) / 1e3
 }
 
 // Normalize fills the spec's defaults and zeroes every field the
@@ -214,7 +225,37 @@ func NewBatchWithCache(workers int, cacheDir string) (*Batch, error) {
 func (b *Batch) Run(spec RunSpec) RunResult {
 	n := Normalize(spec)
 	key := keyOf(n)
-	return b.sched.Do(key, func() RunResult {
+	return b.sched.Do(key, b.jobFor(n, key))
+}
+
+// RunCtx is Run with cancellation: a caller that goes away while its
+// simulation is still queued (not yet started, not shared with another
+// caller) withdraws it instead of occupying a worker slot. A started
+// or shared simulation runs to completion — its result is memoized for
+// everyone — and only this caller's wait is abandoned. An error is
+// always this caller's own context error: coalescing onto a job whose
+// owner canceled is retried transparently while ctx stays live.
+func (b *Batch) RunCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
+	n := Normalize(spec)
+	key := keyOf(n)
+	for {
+		r, err := b.sched.DoCtx(ctx, key, b.jobFor(n, key))
+		if err == nil {
+			return r, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return RunResult{}, cerr
+		}
+		// The error was another caller's: we coalesced onto a queued
+		// job whose owner disconnected and withdrew it. Our context is
+		// still live, so re-request — the key is free again.
+	}
+}
+
+// jobFor builds the memoized execution closure for a normalized spec:
+// disk-cache lookup, simulation, disk-cache write-back.
+func (b *Batch) jobFor(n RunSpec, key string) func() RunResult {
+	return func() RunResult {
 		if b.disk != nil {
 			if r, ok := b.disk.load(key); ok {
 				r.Spec = n
@@ -226,7 +267,32 @@ func (b *Batch) Run(spec RunSpec) RunResult {
 			b.disk.store(key, r)
 		}
 		return r
-	})
+	}
+}
+
+// Disk returns the attached disk cache, or nil.
+func (b *Batch) Disk() *DiskCache { return b.disk }
+
+// PreloadDisk installs every indexed on-disk artifact into the batch's
+// in-memory run cache, so a long-lived batch (a service) starts warm
+// without re-reading artifacts on first request. Returns how many
+// results were installed. Preloading counts toward neither the engine
+// request stats nor the disk traffic counters.
+func (b *Batch) PreloadDisk() (int, error) {
+	if b.disk == nil {
+		return 0, fmt.Errorf("experiments: batch has no disk cache to preload from")
+	}
+	n := 0
+	for _, key := range b.disk.Keys() {
+		r, ok := b.disk.read(key)
+		if !ok {
+			continue
+		}
+		if b.sched.Offer(key, r) {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // DiskStats reports the attached disk cache's traffic; the zero value

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunCtxErrorsAreCallersOwn pins the service-facing contract: a
+// RunCtx error is always the caller's own context error. A healthy
+// caller that coalesced onto a queued run whose owner disconnected
+// (the engine withdraws the job and fails its waiters with the owner's
+// error) must transparently re-request instead of inheriting the other
+// client's cancellation.
+func TestRunCtxErrorsAreCallersOwn(t *testing.T) {
+	b := NewBatch(1)
+
+	// Occupy the single worker slot with a long simulation.
+	hogDone := make(chan struct{})
+	go func() {
+		defer close(hogDone)
+		b.Run(RunSpec{Benchmark: "swim", Insts: 300_000, Model: ModelSAMIE})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hog simulation never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Client A owns a queued run; client B coalesces onto it.
+	contended := RunSpec{Benchmark: "gzip", Insts: 5_000, Model: ModelSAMIE}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := b.RunCtx(ctxA, contended)
+		aErr <- err
+	}()
+	for b.DistinctRuns() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("owner request never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	type out struct {
+		r   RunResult
+		err error
+	}
+	bOut := make(chan out, 1)
+	go func() {
+		r, err := b.RunCtx(context.Background(), contended)
+		bOut <- out{r, err}
+	}()
+	// Give B a moment to coalesce onto A's job, then disconnect A.
+	time.Sleep(5 * time.Millisecond)
+	cancelA()
+	if err := <-aErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner got %v, want its own context.Canceled", err)
+	}
+
+	// B's context is live: it must still receive the result once the
+	// pool frees up, never A's cancellation.
+	select {
+	case got := <-bOut:
+		if got.err != nil {
+			t.Fatalf("healthy waiter inherited another client's cancellation: %v", got.err)
+		}
+		if got.r.CPU.Committed == 0 {
+			t.Fatal("retried run produced an empty result")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter never recovered from the withdrawn job")
+	}
+	<-hogDone
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -89,6 +90,26 @@ func RunScenario(name string, benchmarks []string, insts uint64) (ScenarioResult
 // (benchmark, variant) cell is one spec, deduplicated against
 // everything else the batch has run.
 func (bt *Batch) Scenario(name string, benchmarks []string, insts uint64) (ScenarioResult, error) {
+	return bt.ScenarioCtx(context.Background(), name, benchmarks, insts, nil)
+}
+
+// ScenarioProgress reports one completed sweep cell to a ScenarioCtx
+// observer.
+type ScenarioProgress struct {
+	Benchmark   string
+	Variant     string
+	IPC         float64
+	EnergyNJ    float64
+	Done, Total int
+}
+
+// ScenarioCtx is Scenario with cancellation and progress reporting:
+// onCell (when non-nil) observes every (benchmark, variant) cell as
+// its simulation completes, from a single goroutine, in completion
+// order. Cancellation withdraws the sweep's queued simulations; a cell
+// whose simulation panics surfaces as an error instead of tearing the
+// process down.
+func (bt *Batch) ScenarioCtx(ctx context.Context, name string, benchmarks []string, insts uint64, onCell func(ScenarioProgress)) (ScenarioResult, error) {
 	sc, ok := LookupScenario(name)
 	if !ok {
 		return ScenarioResult{}, fmt.Errorf("experiments: unknown scenario %q (have %s)",
@@ -103,21 +124,63 @@ func (bt *Batch) Scenario(name string, benchmarks []string, insts uint64) (Scena
 	}
 	res.IPC = make([][]float64, len(benchmarks))
 	res.EnergyNJ = make([][]float64, len(benchmarks))
-	var wg sync.WaitGroup
-	for bi, bench := range benchmarks {
+	for bi := range benchmarks {
 		res.IPC[bi] = make([]float64, len(sc.Variants))
 		res.EnergyNJ[bi] = make([]float64, len(sc.Variants))
+	}
+
+	type cell struct {
+		bi, vi      int
+		ipc, energy float64
+		err         error
+	}
+	total := len(benchmarks) * len(sc.Variants)
+	results := make(chan cell, total)
+	for bi, bench := range benchmarks {
 		for vi, v := range sc.Variants {
-			wg.Add(1)
 			go func(bi, vi int, bench string, v Variant) {
-				defer wg.Done()
-				r := bt.Run(v.Spec(bench, insts))
-				res.IPC[bi][vi] = r.CPU.IPC
-				res.EnergyNJ[bi][vi] = (r.Meter.ConvLSQ + r.Meter.SAMIETotal()) / 1e3
+				c := cell{bi: bi, vi: vi}
+				defer func() {
+					if p := recover(); p != nil {
+						c.err = fmt.Errorf("experiments: scenario cell %s/%s panicked: %v",
+							bench, v.Name, p)
+					}
+					results <- c
+				}()
+				r, err := bt.RunCtx(ctx, v.Spec(bench, insts))
+				if err != nil {
+					c.err = err
+					return
+				}
+				c.ipc, c.energy = r.CPU.IPC, r.LSQEnergyNJ()
 			}(bi, vi, bench, v)
 		}
 	}
-	wg.Wait()
+	var firstErr error
+	for done := 1; done <= total; done++ {
+		c := <-results
+		if c.err != nil {
+			if firstErr == nil {
+				firstErr = c.err
+			}
+			continue
+		}
+		res.IPC[c.bi][c.vi] = c.ipc
+		res.EnergyNJ[c.bi][c.vi] = c.energy
+		if onCell != nil && firstErr == nil {
+			onCell(ScenarioProgress{
+				Benchmark: benchmarks[c.bi],
+				Variant:   res.Variants[c.vi],
+				IPC:       c.ipc,
+				EnergyNJ:  c.energy,
+				Done:      done,
+				Total:     total,
+			})
+		}
+	}
+	if firstErr != nil {
+		return ScenarioResult{}, firstErr
+	}
 	return res, nil
 }
 

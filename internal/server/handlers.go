@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"samielsq/internal/experiments"
+	"samielsq/pkg/client"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleRun executes (or serves from the shared cache) one simulation.
+// Two concurrent identical requests coalesce into a single run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req client.RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := validBenchmarks([]string{spec.Benchmark}); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Insts == 0 {
+		spec.Insts = s.cfg.DefaultInsts
+	}
+	if s.cfg.MaxInsts > 0 && spec.Insts > s.cfg.MaxInsts {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("insts %d exceeds the server cap %d", spec.Insts, s.cfg.MaxInsts))
+		return
+	}
+
+	res, err := s.batch.RunCtx(r.Context(), spec)
+	if err != nil {
+		writeError(w, statusForError(err), fmt.Sprintf("run abandoned: %v", err))
+		return
+	}
+	n := experiments.Normalize(spec)
+	writeJSON(w, http.StatusOK, client.RunResponse{
+		Key:         experiments.Key(spec),
+		Benchmark:   n.Benchmark,
+		Model:       client.ModelName(n.Model),
+		Insts:       n.Insts,
+		Warmup:      n.Warmup,
+		CPU:         res.CPU,
+		SAMIE:       res.SAMIE,
+		Conv:        res.Conv,
+		Meter:       res.Meter,
+		LSQEnergyNJ: res.LSQEnergyNJ(),
+	})
+}
+
+// handleFigure regenerates one paper figure through the shared batch;
+// the rendered text is byte-identical to the library harness output.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	benchmarks, insts, err := s.sweepParams(r.URL.Query().Get("bench"), r.URL.Query().Get("insts"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	type figureOut struct {
+		text   string
+		result any
+	}
+	var run func() figureOut
+	switch name {
+	case "1":
+		run = func() figureOut { f := s.batch.Figure1(benchmarks, insts); return figureOut{f.String(), f} }
+	case "3":
+		run = func() figureOut { f := s.batch.Figure3(benchmarks, insts); return figureOut{f.String(), f} }
+	case "4":
+		run = func() figureOut { f := s.batch.Figure4(benchmarks, insts, nil); return figureOut{f.String(), f} }
+	case "56":
+		run = func() figureOut { f := s.batch.Figure56(benchmarks, insts); return figureOut{f.String(), f} }
+	case "energy":
+		run = func() figureOut { f := s.batch.Energy(benchmarks, insts); return figureOut{f.String(), f} }
+	default:
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown figure %q (have %s)", name, strings.Join(client.FigureNames(), ", ")))
+		return
+	}
+
+	// The figure harnesses block; race them against the request
+	// context. An abandoned harness still completes into the shared
+	// cache, so the work is never wasted. A simulation panic must be
+	// caught here — this goroutine is outside withRecovery's reach —
+	// and surfaced as a 500 instead of tearing the process down.
+	done := make(chan figureOut, 1)
+	failed := make(chan any, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				failed <- p
+			}
+		}()
+		done <- run()
+	}()
+	select {
+	case out := <-done:
+		raw, err := json.Marshal(out.result)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("encoding figure: %v", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, client.FigureResponse{
+			Figure:     name,
+			Benchmarks: benchmarks,
+			Insts:      insts,
+			Text:       out.text,
+			Result:     raw,
+		})
+	case p := <-failed:
+		s.log.Error("figure panic", "figure", name, "panic", fmt.Sprint(p))
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("figure failed: %v", p))
+	case <-r.Context().Done():
+		writeError(w, statusForError(r.Context().Err()),
+			fmt.Sprintf("figure abandoned: %v", r.Context().Err()))
+	}
+}
+
+// handleScenarios lists the registered sweeps.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	names := experiments.ScenarioNames()
+	out := make([]client.ScenarioInfo, 0, len(names))
+	for _, name := range names {
+		sc, ok := experiments.LookupScenario(name)
+		if !ok {
+			continue
+		}
+		info := client.ScenarioInfo{Name: sc.Name, Description: sc.Description}
+		for _, v := range sc.Variants {
+			info.Variants = append(info.Variants, v.Name)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleScenarioRun evaluates one registered sweep through the shared
+// batch. With ?stream=1 the response is NDJSON: one "cell" event per
+// completed (benchmark, variant) simulation, then a final "result".
+func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Resolve existence before any streaming headers go out, so an
+	// unknown name is a clean 404.
+	_, ok := experiments.LookupScenario(name)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown scenario %q (have %s)", name, strings.Join(experiments.ScenarioNames(), ", ")))
+		return
+	}
+	var req client.ScenarioRunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	benchmarks, err := validBenchmarks(req.Benchmarks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	insts := req.Insts
+	if insts == 0 {
+		insts = s.cfg.DefaultInsts
+	}
+	if s.cfg.MaxInsts > 0 && insts > s.cfg.MaxInsts {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("insts %d exceeds the server cap %d", insts, s.cfg.MaxInsts))
+		return
+	}
+
+	streaming := r.URL.Query().Get("stream") != ""
+	var emit func(client.ScenarioEvent)
+	if streaming {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		flusher, _ := w.(http.Flusher)
+		emit = func(ev client.ScenarioEvent) {
+			_ = enc.Encode(ev) // Encode appends the newline NDJSON needs
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+
+	// The library sweep does the fan-out, cancellation and panic
+	// containment; the server only translates progress into NDJSON.
+	var onCell func(experiments.ScenarioProgress)
+	if emit != nil {
+		onCell = func(p experiments.ScenarioProgress) {
+			emit(client.ScenarioEvent{
+				Type:      "cell",
+				Benchmark: p.Benchmark,
+				Variant:   p.Variant,
+				IPC:       p.IPC,
+				EnergyNJ:  p.EnergyNJ,
+				Done:      p.Done,
+				Total:     p.Total,
+			})
+		}
+	}
+	res, err := s.batch.ScenarioCtx(r.Context(), name, benchmarks, insts, onCell)
+	if err != nil {
+		if streaming {
+			emit(client.ScenarioEvent{Type: "error", Error: err.Error()})
+		} else {
+			writeError(w, statusForError(err), fmt.Sprintf("scenario abandoned: %v", err))
+		}
+		return
+	}
+	if streaming {
+		emit(client.ScenarioEvent{Type: "result", Result: &res, Text: res.String()})
+		return
+	}
+	writeJSON(w, http.StatusOK, client.ScenarioRunResponse{Result: res, Text: res.String()})
+}
+
+// handleStats reports the engine/disk/process accounting.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// sweepParams parses the shared bench/insts query parameters.
+func (s *Server) sweepParams(benchCSV, instsStr string) ([]string, uint64, error) {
+	var names []string
+	if benchCSV != "" {
+		names = strings.Split(benchCSV, ",")
+	}
+	benchmarks, err := validBenchmarks(names)
+	if err != nil {
+		return nil, 0, err
+	}
+	insts := s.cfg.DefaultInsts
+	if instsStr != "" {
+		v, err := strconv.ParseUint(instsStr, 10, 64)
+		if err != nil || v == 0 {
+			return nil, 0, fmt.Errorf("bad insts %q", instsStr)
+		}
+		insts = v
+	}
+	if s.cfg.MaxInsts > 0 && insts > s.cfg.MaxInsts {
+		return nil, 0, fmt.Errorf("insts %d exceeds the server cap %d", insts, s.cfg.MaxInsts)
+	}
+	return benchmarks, insts, nil
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"samielsq/pkg/client"
+)
+
+// statsSnapshot assembles the /v1/stats body; /metrics renders the
+// same snapshot in Prometheus text form so the two never disagree.
+func (s *Server) statsSnapshot() client.StatsResponse {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	return client.StatsResponse{
+		Engine:         s.batch.Stats(),
+		Disk:           s.batch.DiskStats(),
+		DistinctRuns:   s.batch.DistinctRuns(),
+		Workers:        s.batch.Workers(),
+		MaxConcurrent:  cap(s.sem),
+		InflightHTTP:   s.inflight.Load(),
+		RequestsServed: s.served.Load(),
+		Throttled:      s.throttled.Load(),
+		CacheDir:       s.cfg.CacheDir,
+		Preloaded:      s.cfg.Preloaded,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapBytes:      mem.HeapAlloc,
+	}
+}
+
+// handleMetrics is the Prometheus text exposition (format version
+// 0.0.4): engine hit/miss/inflight counters, disk-cache traffic, HTTP
+// admission accounting and process gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.statsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	type metric struct {
+		name, help, kind string
+		value            float64
+	}
+	metrics := []metric{
+		{"samie_engine_requests_total", "Run requests seen by the shared scheduler.", "counter", float64(st.Engine.Requests)},
+		{"samie_engine_executed_total", "Distinct simulations actually executed.", "counter", float64(st.Engine.Executed)},
+		{"samie_engine_hits_total", "Requests served from cache or coalesced onto an in-flight run.", "counter", float64(st.Engine.Hits)},
+		{"samie_engine_canceled_total", "Requests abandoned via context before completing.", "counter", float64(st.Engine.Canceled)},
+		{"samie_engine_evictions_total", "Memoized results dropped by the LRU bound.", "counter", float64(st.Engine.Evictions)},
+		{"samie_engine_inflight", "Simulations holding a worker slot right now.", "gauge", float64(st.Engine.Inflight)},
+		{"samie_engine_distinct_runs", "Distinct run specs in the in-memory cache.", "gauge", float64(st.DistinctRuns)},
+		{"samie_engine_workers", "Worker-pool concurrency bound.", "gauge", float64(st.Workers)},
+		{"samie_disk_cache_hits_total", "Results served from the on-disk cache.", "counter", float64(st.Disk.Hits)},
+		{"samie_disk_cache_misses_total", "On-disk lookups that missed.", "counter", float64(st.Disk.Misses)},
+		{"samie_disk_cache_writes_total", "Artifacts persisted to the on-disk cache.", "counter", float64(st.Disk.Writes)},
+		{"samie_http_requests_total", "HTTP requests served, all endpoints.", "counter", float64(st.RequestsServed)},
+		{"samie_http_throttled_total", "Requests shed with 429 at the admission semaphore.", "counter", float64(st.Throttled)},
+		{"samie_http_inflight", "Admitted simulation requests in flight.", "gauge", float64(st.InflightHTTP)},
+		{"samie_http_max_concurrent", "Admission semaphore capacity.", "gauge", float64(st.MaxConcurrent)},
+		{"samie_preloaded_runs", "Results preloaded from disk at startup.", "gauge", float64(st.Preloaded)},
+		{"samie_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds},
+		{"samie_process_goroutines", "Live goroutines.", "gauge", float64(st.Goroutines)},
+		{"samie_process_heap_bytes", "Heap bytes in use.", "gauge", float64(st.HeapBytes)},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.kind, m.name, m.value)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"samielsq/pkg/client"
+)
+
+// statusWriter records the status and byte count for the request log
+// and passes Flush through for NDJSON streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withLogging emits one structured log line per request.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		s.served.Add(1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", time.Since(begin).Round(time.Microsecond).String(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// withRecovery converts handler panics into 500s instead of tearing
+// down the connection (and, under http.Serve, the goroutine's stack
+// trace spam). Simulation panics surface here too: the engine
+// re-raises a job panic in every caller.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.log.Error("panic", "path", r.URL.Path, "panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()))
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// heavy admits a simulation-triggering request through the
+// request-level semaphore and attaches the per-request deadline.
+// Saturation answers 429 + Retry-After immediately: the engine worker
+// pool bounds simulation parallelism, this bounds how many requests
+// may pile onto it at all, so a burst degrades into fast, explicit
+// backpressure instead of an unbounded goroutine queue.
+func (s *Server) heavy(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.throttled.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("saturated: %d simulation requests in flight", cap(s.sem)))
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	})
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, client.ErrorResponse{Error: msg})
+}
+
+// statusForError maps a failed simulation request to its status: a
+// server-imposed deadline is a 504, a vanished client gets a
+// best-effort 499-style close (the write is moot anyway), and
+// anything else — a contained simulation failure — is a 500.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}

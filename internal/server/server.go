@@ -1,0 +1,143 @@
+// Package server is the HTTP simulation service over the shared-run
+// Batch engine: many clients share one long-lived memoizing scheduler
+// (plus its disk cache), so concurrent identical requests coalesce
+// into a single simulation and repeated figure regenerations serve
+// from a warm cache.
+//
+// The wire types live in pkg/client so the typed client can never
+// drift from the service. Endpoints:
+//
+//	POST /v1/runs                   one RunSpec -> stats + energy
+//	GET  /v1/figures/{1,3,4,56,energy}
+//	GET  /v1/scenarios              registry listing
+//	POST /v1/scenarios/{name}/run   sweep; ?stream=1 for NDJSON progress
+//	GET  /v1/stats                  engine/disk/process accounting
+//	GET  /healthz                   liveness
+//	GET  /metrics                   Prometheus text exposition
+//
+// Production shape: simulation-triggering endpoints sit behind a
+// request-level semaphore (429 + Retry-After on saturation) in front
+// of the engine's worker pool, every request carries a deadline that
+// cancels queued (not-yet-shared) simulations when the client goes
+// away, and all requests are logged structurally.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/internal/trace"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Batch is the shared simulation engine; required.
+	Batch *experiments.Batch
+
+	// Logger receives structured request and lifecycle logs; default
+	// slog.Default().
+	Logger *slog.Logger
+
+	// MaxConcurrent bounds simultaneously-admitted simulation requests
+	// (runs, figures, scenario sweeps). Saturation answers 429 with
+	// Retry-After. Default: 4x the batch's worker count, so short
+	// coalescing requests queue while the pool is busy instead of
+	// bouncing.
+	MaxConcurrent int
+
+	// RequestTimeout caps one simulation request end to end; 0 means
+	// no server-imposed deadline. A timed-out (or disconnected)
+	// request withdraws its queued simulations; started ones finish
+	// and stay memoized.
+	RequestTimeout time.Duration
+
+	// DefaultInsts is the instruction budget when a request omits it;
+	// default experiments.DefaultInsts.
+	DefaultInsts uint64
+
+	// MaxInsts rejects requests above this per-run budget with 400;
+	// 0 means unlimited.
+	MaxInsts uint64
+
+	// RetryAfter is the hint returned with 429; default 5s.
+	RetryAfter time.Duration
+
+	// CacheDir and Preloaded are reported by /v1/stats (informational;
+	// the batch already owns the actual cache).
+	CacheDir  string
+	Preloaded int
+}
+
+// Server is the HTTP simulation service; construct with New, expose
+// with Handler.
+type Server struct {
+	cfg   Config
+	batch *experiments.Batch
+	log   *slog.Logger
+	sem   chan struct{}
+	start time.Time
+	mux   *http.ServeMux
+
+	served    atomic.Int64 // requests completed, all endpoints
+	throttled atomic.Int64 // 429s issued
+	inflight  atomic.Int64 // admitted simulation requests in flight
+}
+
+// New validates the config and assembles the service routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Batch == nil {
+		return nil, fmt.Errorf("server: Config.Batch is required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4 * cfg.Batch.Workers()
+	}
+	if cfg.DefaultInsts == 0 {
+		cfg.DefaultInsts = experiments.DefaultInsts
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		batch: cfg.Batch,
+		log:   cfg.Logger,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.Handle("POST /v1/runs", s.heavy(s.handleRun))
+	s.mux.Handle("GET /v1/figures/{name}", s.heavy(s.handleFigure))
+	s.mux.Handle("POST /v1/scenarios/{name}/run", s.heavy(s.handleScenarioRun))
+	return s, nil
+}
+
+// Handler returns the full middleware-wrapped service handler.
+func (s *Server) Handler() http.Handler {
+	return s.withRecovery(s.withLogging(s.mux))
+}
+
+// validBenchmarks checks every requested benchmark resolves to a
+// workload personality, returning the validated list (nil input means
+// the full suite).
+func validBenchmarks(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return experiments.Benchmarks(), nil
+	}
+	for _, n := range names {
+		if _, err := trace.Personality(n); err != nil {
+			return nil, fmt.Errorf("unknown benchmark %q", n)
+		}
+	}
+	return names, nil
+}

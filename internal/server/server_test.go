@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/pkg/client"
+)
+
+// testInsts keeps handler tests in the tens of milliseconds.
+const testInsts = 5_000
+
+// newTestServer boots a service over a fresh batch and returns both.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *experiments.Batch) {
+	t.Helper()
+	if cfg.Batch == nil {
+		cfg.Batch = experiments.NewBatch(2)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.DefaultInsts == 0 {
+		cfg.DefaultInsts = testInsts
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, cfg.Batch
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRunEndpointExecutesAndDedups(t *testing.T) {
+	_, ts, batch := newTestServer(t, Config{})
+	req := client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE}
+
+	resp := postJSON(t, ts.URL+"/v1/runs", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decodeBody[client.RunResponse](t, resp)
+	if out.CPU.IPC <= 0 || out.Key == "" || out.Model != client.ModelSAMIE {
+		t.Fatalf("implausible response: %+v", out)
+	}
+	if out.Insts != testInsts || out.Warmup != testInsts/2 {
+		t.Fatalf("defaults not normalized: insts=%d warmup=%d", out.Insts, out.Warmup)
+	}
+
+	// The same request again is a pure cache hit.
+	resp2 := postJSON(t, ts.URL+"/v1/runs", req)
+	out2 := decodeBody[client.RunResponse](t, resp2)
+	if out2.CPU != out.CPU {
+		t.Error("repeated run returned a different result")
+	}
+	if st := batch.Stats(); st.Executed != 1 || st.Hits != 1 {
+		t.Fatalf("dedup failed: %+v", st)
+	}
+}
+
+func TestRunEndpointValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxInsts: 100_000})
+	for name, body := range map[string]any{
+		"bad_model":     client.RunRequest{Benchmark: "gzip", Model: "quantum"},
+		"bad_benchmark": client.RunRequest{Benchmark: "nope", Model: client.ModelSAMIE},
+		"insts_cap":     client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: 1_000_000},
+		"not_json":      "}{",
+	} {
+		resp := postJSON(t, ts.URL+"/v1/runs", body)
+		er := decodeBody[client.ErrorResponse](t, resp)
+		if resp.StatusCode != http.StatusBadRequest || er.Error == "" {
+			t.Errorf("%s: status %d, error %q; want 400 with message", name, resp.StatusCode, er.Error)
+		}
+	}
+}
+
+func TestFigureEndpointMatchesLibrary(t *testing.T) {
+	_, ts, batch := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/figures/56?bench=gzip&insts=" + strconv.Itoa(testInsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decodeBody[client.FigureResponse](t, resp)
+	want := batch.Figure56([]string{"gzip"}, testInsts).String()
+	if out.Text != want {
+		t.Errorf("figure text differs from library harness\nserver:\n%s\nlibrary:\n%s", out.Text, want)
+	}
+	var parsed experiments.Figure56Result
+	if err := json.Unmarshal(out.Result, &parsed); err != nil || len(parsed.Rows) != 1 {
+		t.Errorf("structured result unusable: %v %+v", err, parsed)
+	}
+
+	if resp, _ := http.Get(ts.URL + "/v1/figures/99"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown figure gave %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/figures/56?bench=nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown benchmark gave %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestScenarioEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := decodeBody[[]client.ScenarioInfo](t, resp)
+	if len(infos) < 8 {
+		t.Fatalf("only %d scenarios listed", len(infos))
+	}
+	for _, info := range infos {
+		if info.Name == "" || len(info.Variants) == 0 {
+			t.Fatalf("malformed scenario info: %+v", info)
+		}
+	}
+
+	run := postJSON(t, ts.URL+"/v1/scenarios/shared-lsq-sizes/run",
+		client.ScenarioRunRequest{Benchmarks: []string{"gzip"}, Insts: testInsts})
+	if run.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", run.StatusCode)
+	}
+	out := decodeBody[client.ScenarioRunResponse](t, run)
+	if len(out.Result.IPC) != 1 || len(out.Result.IPC[0]) != 5 {
+		t.Fatalf("sweep shape %dx%d, want 1x5", len(out.Result.IPC), len(out.Result.Variants))
+	}
+	if !strings.Contains(out.Text, "geomean") {
+		t.Error("rendered sweep lost the geomean row")
+	}
+
+	if resp := postJSON(t, ts.URL+"/v1/scenarios/no-such/run", client.ScenarioRunRequest{}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown scenario gave %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestScenarioStreaming(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body, _ := json.Marshal(client.ScenarioRunRequest{Benchmarks: []string{"gzip"}, Insts: testInsts})
+	resp, err := http.Post(ts.URL+"/v1/scenarios/distrib-banking/run?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var cells int
+	var final *client.ScenarioEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var ev client.ScenarioEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "cell":
+			cells++
+			if ev.Benchmark != "gzip" || ev.Variant == "" || ev.IPC <= 0 || ev.Total != 3 {
+				t.Fatalf("malformed cell event: %+v", ev)
+			}
+			if final != nil {
+				t.Fatal("cell event after the result event")
+			}
+		case "result":
+			final = &ev
+		default:
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cells != 3 {
+		t.Fatalf("saw %d cell events, want 3 (distrib-banking variants)", cells)
+	}
+	if final == nil || final.Result == nil || len(final.Result.IPC) != 1 {
+		t.Fatalf("missing or malformed final result: %+v", final)
+	}
+	// The streamed sweep must agree with the library harness.
+	direct, err := experiments.RunScenario("distrib-banking", []string{"gzip"}, testInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range direct.IPC[0] {
+		if final.Result.IPC[0][vi] != direct.IPC[0][vi] {
+			t.Fatalf("streamed IPC[0][%d]=%v differs from library %v", vi, final.Result.IPC[0][vi], direct.IPC[0][vi])
+		}
+	}
+}
+
+func TestSaturationSheds429(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxConcurrent: 1})
+	// Hold the admission semaphore's only slot, as an admitted slow
+	// request would.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	resp := postJSON(t, ts.URL+"/v1/runs", client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs <= 0 {
+		t.Errorf("bad Retry-After %q", ra)
+	}
+	er := decodeBody[client.ErrorResponse](t, resp)
+	if !strings.Contains(er.Error, "saturated") {
+		t.Errorf("error %q does not explain the shed", er.Error)
+	}
+	// Cheap endpoints stay reachable while saturated.
+	if hr, err := http.Get(ts.URL + "/healthz"); err != nil || hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz unavailable under saturation: %v %v", hr, err)
+	}
+	if st := s.statsSnapshot(); st.Throttled != 1 {
+		t.Errorf("throttled count %d, want 1", st.Throttled)
+	}
+}
+
+func TestRequestTimeoutCancelsQueuedRun(t *testing.T) {
+	batch := experiments.NewBatch(1)
+	_, ts, _ := newTestServer(t, Config{Batch: batch, RequestTimeout: 30 * time.Millisecond})
+
+	// Occupy the single worker slot with a long simulation submitted
+	// directly to the batch.
+	hog := make(chan struct{})
+	go func() {
+		defer close(hog)
+		batch.Run(experiments.RunSpec{Benchmark: "swim", Insts: 400_000, Model: experiments.ModelSAMIE})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for batch.Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hog simulation never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// This request queues behind the hog and must be withdrawn by its
+	// deadline with 504, not leak a worker slot.
+	resp := postJSON(t, ts.URL+"/v1/runs", client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	er := decodeBody[client.ErrorResponse](t, resp)
+	if !strings.Contains(er.Error, "abandoned") {
+		t.Errorf("error %q does not explain the cancellation", er.Error)
+	}
+	if st := batch.Stats(); st.Canceled == 0 {
+		t.Errorf("engine never recorded the cancellation: %+v", st)
+	}
+	<-hog
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/runs", client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("non-numeric metric value in %q", line)
+		}
+		values[fields[0]] = v
+	}
+	for _, want := range []string{
+		"samie_engine_requests_total", "samie_engine_executed_total", "samie_engine_hits_total",
+		"samie_engine_inflight", "samie_disk_cache_hits_total", "samie_disk_cache_misses_total",
+		"samie_http_requests_total", "samie_http_throttled_total", "samie_process_goroutines",
+		"samie_uptime_seconds",
+	} {
+		if _, ok := values[want]; !ok {
+			t.Errorf("metric %s missing", want)
+		}
+	}
+	if values["samie_engine_executed_total"] != 1 {
+		t.Errorf("executed metric %v, want 1", values["samie_engine_executed_total"])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	batch, err := experiments.NewBatchWithCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, Config{Batch: batch, CacheDir: dir})
+	postJSON(t, ts.URL+"/v1/runs", client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[client.StatsResponse](t, resp)
+	if st.Engine.Executed != 1 || st.Workers != 2 || st.CacheDir != dir {
+		t.Fatalf("stats implausible: %+v", st)
+	}
+	if st.Disk.Writes != 1 {
+		t.Fatalf("disk write not reported: %+v", st.Disk)
+	}
+	if st.UptimeSeconds <= 0 || st.Goroutines <= 0 {
+		t.Fatalf("process gauges missing: %+v", st)
+	}
+}
+
+// TestClientAgainstServer exercises the typed client end to end against
+// a live handler: runs, figures, scenario streaming, stats, health,
+// metrics, and throttling errors.
+func TestClientAgainstServer(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	run, err := c.Run(ctx, client.RunRequest{Benchmark: "gzip", Model: client.ModelConventional})
+	if err != nil || run.CPU.IPC <= 0 {
+		t.Fatalf("run: %+v, %v", run, err)
+	}
+	if run.LSQEnergyNJ <= 0 {
+		t.Errorf("conventional run carries no LSQ energy: %+v", run)
+	}
+	fig, err := c.Figure(ctx, "3", []string{"gzip"}, testInsts)
+	if err != nil || !strings.Contains(fig.Text, "Figure 3") {
+		t.Fatalf("figure: %v, %q", err, fig.Text)
+	}
+	infos, err := c.Scenarios(ctx)
+	if err != nil || len(infos) < 8 {
+		t.Fatalf("scenarios: %d, %v", len(infos), err)
+	}
+	var events int
+	sw, err := c.RunScenario(ctx, "distrib-banking",
+		client.ScenarioRunRequest{Benchmarks: []string{"gzip"}, Insts: testInsts},
+		func(ev client.ScenarioEvent) { events++ })
+	if err != nil || len(sw.Result.IPC) != 1 {
+		t.Fatalf("scenario stream: %v", err)
+	}
+	if events != 4 { // 3 cells + 1 result
+		t.Errorf("observed %d events, want 4", events)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil || stats.Engine.Requests == 0 {
+		t.Fatalf("stats: %+v, %v", stats, err)
+	}
+	if txt, err := c.Metrics(ctx); err != nil || !strings.Contains(txt, "samie_engine_requests_total") {
+		t.Fatalf("metrics: %v", err)
+	}
+
+	// Errors surface as typed APIErrors.
+	if _, err := c.Run(ctx, client.RunRequest{Benchmark: "gzip", Model: "bogus"}); err == nil {
+		t.Fatal("bad model accepted")
+	} else if ae, ok := err.(*client.APIError); !ok || ae.Status != http.StatusBadRequest {
+		t.Fatalf("want *APIError 400, got %v", err)
+	}
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	_, err = c.Run(ctx, client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE})
+	for i := 0; i < cap(s.sem); i++ {
+		<-s.sem
+	}
+	if !client.IsThrottled(err) {
+		t.Fatalf("saturation error not recognized: %v", err)
+	}
+	if ae := err.(*client.APIError); ae.RetryAfter <= 0 {
+		t.Errorf("throttle error lost Retry-After: %+v", ae)
+	}
+}

@@ -1,0 +1,216 @@
+// Package client is the typed Go client for the samie-serve HTTP API,
+// and the home of the wire types both sides share: the server
+// (internal/server) marshals exactly these structs, so a client built
+// from this package never drifts from the service.
+//
+// The API surface mirrors the library: POST /v1/runs executes (or
+// dedups) one RunSpec, the figure endpoints regenerate paper
+// artefacts, and the scenario endpoints drive registered sweeps, with
+// long-running sweeps streamed as NDJSON progress events.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"samielsq/internal/core"
+	"samielsq/internal/cpu"
+	"samielsq/internal/energy"
+	"samielsq/internal/experiments"
+	"samielsq/internal/experiments/engine"
+	"samielsq/internal/lsq"
+)
+
+// Model name strings accepted by RunRequest.Model.
+const (
+	ModelConventional = "conventional"
+	ModelUnbounded    = "unbounded"
+	ModelARB          = "arb"
+	ModelSAMIE        = "samie"
+)
+
+// ParseModel maps a wire model name to the experiments kind.
+func ParseModel(s string) (experiments.ModelKind, error) {
+	switch s {
+	case ModelConventional:
+		return experiments.ModelConventional, nil
+	case ModelUnbounded:
+		return experiments.ModelUnbounded, nil
+	case ModelARB:
+		return experiments.ModelARB, nil
+	case ModelSAMIE:
+		return experiments.ModelSAMIE, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (want %s, %s, %s or %s)",
+		s, ModelConventional, ModelUnbounded, ModelARB, ModelSAMIE)
+}
+
+// ModelName maps an experiments kind to its wire name.
+func ModelName(m experiments.ModelKind) string {
+	switch m {
+	case experiments.ModelConventional:
+		return ModelConventional
+	case experiments.ModelUnbounded:
+		return ModelUnbounded
+	case experiments.ModelARB:
+		return ModelARB
+	case experiments.ModelSAMIE:
+		return ModelSAMIE
+	}
+	return fmt.Sprintf("model-%d", int(m))
+}
+
+// RunRequest is the POST /v1/runs body: one simulation spec. Zero
+// fields take the library defaults (Normalize), so the minimal request
+// is {"benchmark": "swim", "model": "samie"}.
+type RunRequest struct {
+	Benchmark string `json:"benchmark"`
+	Model     string `json:"model"`
+	Insts     uint64 `json:"insts,omitempty"`
+	Warmup    uint64 `json:"warmup,omitempty"`
+
+	ConvEntries int `json:"conv_entries,omitempty"`
+
+	ARBBanks    int `json:"arb_banks,omitempty"`
+	ARBAddrs    int `json:"arb_addrs,omitempty"`
+	ARBInflight int `json:"arb_inflight,omitempty"`
+
+	SAMIE *core.Config `json:"samie,omitempty"`
+	CPU   *cpu.Config  `json:"cpu,omitempty"`
+}
+
+// Spec converts the wire request into a library RunSpec.
+func (r RunRequest) Spec() (experiments.RunSpec, error) {
+	m, err := ParseModel(r.Model)
+	if err != nil {
+		return experiments.RunSpec{}, err
+	}
+	return experiments.RunSpec{
+		Benchmark:   r.Benchmark,
+		Insts:       r.Insts,
+		Warmup:      r.Warmup,
+		Model:       m,
+		ConvEntries: r.ConvEntries,
+		ARBBanks:    r.ARBBanks,
+		ARBAddrs:    r.ARBAddrs,
+		ARBInflight: r.ARBInflight,
+		SAMIE:       r.SAMIE,
+		CPU:         r.CPU,
+	}, nil
+}
+
+// RequestFor renders a library spec as a wire request.
+func RequestFor(spec experiments.RunSpec) RunRequest {
+	return RunRequest{
+		Benchmark:   spec.Benchmark,
+		Model:       ModelName(spec.Model),
+		Insts:       spec.Insts,
+		Warmup:      spec.Warmup,
+		ConvEntries: spec.ConvEntries,
+		ARBBanks:    spec.ARBBanks,
+		ARBAddrs:    spec.ARBAddrs,
+		ARBInflight: spec.ARBInflight,
+		SAMIE:       spec.SAMIE,
+		CPU:         spec.CPU,
+	}
+}
+
+// RunResponse is the POST /v1/runs result: the normalized identity of
+// the run plus everything the library's RunResult carries (minus the
+// memory-hierarchy internals, which do not serialize).
+type RunResponse struct {
+	Key       string `json:"key"` // canonical engine cache key
+	Benchmark string `json:"benchmark"`
+	Model     string `json:"model"`
+	Insts     uint64 `json:"insts"`
+	Warmup    uint64 `json:"warmup"`
+
+	CPU   cpu.Result         `json:"cpu"`
+	SAMIE core.Stats         `json:"samie_stats"`
+	Conv  lsq.OccupancyStats `json:"conv_occupancy"`
+	Meter *energy.Meter      `json:"energy"`
+
+	// LSQEnergyNJ is the headline LSQ dynamic energy in nJ
+	// (conventional or SAMIE total, whichever the model accounts).
+	LSQEnergyNJ float64 `json:"lsq_energy_nj"`
+}
+
+// FigureNames lists the valid GET /v1/figures/{name} names.
+func FigureNames() []string { return []string{"1", "3", "4", "56", "energy"} }
+
+// FigureResponse is one figure regeneration: the rendered text
+// (byte-identical to the library harness output) plus the structured
+// result for programmatic use.
+type FigureResponse struct {
+	Figure     string          `json:"figure"`
+	Benchmarks []string        `json:"benchmarks"`
+	Insts      uint64          `json:"insts"`
+	Text       string          `json:"text"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// ScenarioInfo describes one registered scenario sweep.
+type ScenarioInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Variants    []string `json:"variants"`
+}
+
+// ScenarioRunRequest is the POST /v1/scenarios/{name}/run body.
+type ScenarioRunRequest struct {
+	Benchmarks []string `json:"benchmarks,omitempty"` // default: all 26
+	Insts      uint64   `json:"insts,omitempty"`
+}
+
+// ScenarioRunResponse is the non-streaming sweep result.
+type ScenarioRunResponse struct {
+	Result experiments.ScenarioResult `json:"result"`
+	Text   string                     `json:"text"`
+}
+
+// ScenarioEvent is one NDJSON line of a streamed sweep: "cell" events
+// as each (benchmark, variant) simulation completes, then one final
+// "result" event. An "error" event terminates the stream.
+type ScenarioEvent struct {
+	Type string `json:"type"` // "cell", "result" or "error"
+
+	// cell fields
+	Benchmark string  `json:"benchmark,omitempty"`
+	Variant   string  `json:"variant,omitempty"`
+	IPC       float64 `json:"ipc,omitempty"`
+	EnergyNJ  float64 `json:"energy_nj,omitempty"`
+	Done      int     `json:"done,omitempty"`
+	Total     int     `json:"total,omitempty"`
+
+	// result fields
+	Result *experiments.ScenarioResult `json:"result,omitempty"`
+	Text   string                      `json:"text,omitempty"`
+
+	// error field
+	Error string `json:"error,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body: engine, disk-cache and
+// process accounting for the shared batch behind the service.
+type StatsResponse struct {
+	Engine       engine.Stats               `json:"engine"`
+	Disk         experiments.DiskCacheStats `json:"disk"`
+	DistinctRuns int                        `json:"distinct_runs"`
+	Workers      int                        `json:"workers"`
+
+	MaxConcurrent  int   `json:"max_concurrent"`
+	InflightHTTP   int64 `json:"inflight_http"`
+	RequestsServed int64 `json:"requests_served"`
+	Throttled      int64 `json:"throttled"` // 429s issued
+
+	CacheDir      string  `json:"cache_dir,omitempty"`
+	Preloaded     int     `json:"preloaded,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,231 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a samie-serve instance. The zero value is not
+// usable; construct with New. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default client has no timeout:
+// simulations legitimately run for minutes, so deadlines belong on the
+// request context.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base, e.g.
+// "http://localhost:8344".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status     int           // HTTP status code
+	Message    string        // server-provided error text
+	RetryAfter time.Duration // from Retry-After on 429, else 0
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("server: %s (HTTP %d, retry after %s)", e.Message, e.Status, e.RetryAfter)
+	}
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsThrottled reports whether err is the server shedding load (HTTP
+// 429); the caller should back off by err.RetryAfter.
+func IsThrottled(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// roundTrip issues one JSON request; out may be nil to discard the
+// body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// send issues the request and converts non-2xx statuses into
+// *APIError; the caller owns the returned body.
+func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 == 2 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	ae := &APIError{Status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var er ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		ae.Message = er.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(data))
+	}
+	if ae.Message == "" {
+		ae.Message = resp.Status
+	}
+	return nil, ae
+}
+
+// Run executes (or dedups, server-side) one simulation.
+func (c *Client) Run(ctx context.Context, req RunRequest) (RunResponse, error) {
+	var out RunResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/runs", req, &out)
+	return out, err
+}
+
+// Figure regenerates one paper figure ("1", "3", "4", "56" or
+// "energy") over the benchmark subset (nil means all 26) at the given
+// instruction budget (0 means the server default).
+func (c *Client) Figure(ctx context.Context, figure string, benchmarks []string, insts uint64) (FigureResponse, error) {
+	q := url.Values{}
+	if len(benchmarks) > 0 {
+		q.Set("bench", strings.Join(benchmarks, ","))
+	}
+	if insts > 0 {
+		q.Set("insts", strconv.FormatUint(insts, 10))
+	}
+	path := "/v1/figures/" + url.PathEscape(figure)
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out FigureResponse
+	err := c.roundTrip(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Scenarios lists the registered scenario sweeps.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var out []ScenarioInfo
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/scenarios", nil, &out)
+	return out, err
+}
+
+// RunScenario evaluates a registered sweep. With a nil onEvent the
+// call blocks for the final result; with onEvent set the server
+// streams NDJSON progress and onEvent observes every cell as its
+// simulation completes, before the final result is returned.
+func (c *Client) RunScenario(ctx context.Context, name string, req ScenarioRunRequest, onEvent func(ScenarioEvent)) (ScenarioRunResponse, error) {
+	path := "/v1/scenarios/" + url.PathEscape(name) + "/run"
+	if onEvent == nil {
+		var out ScenarioRunResponse
+		err := c.roundTrip(ctx, http.MethodPost, path, req, &out)
+		return out, err
+	}
+	resp, err := c.send(ctx, http.MethodPost, path+"?stream=1", req)
+	if err != nil {
+		return ScenarioRunResponse{}, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var final ScenarioRunResponse
+	sawResult := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev ScenarioEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return ScenarioRunResponse{}, fmt.Errorf("client: bad stream line %q: %w", line, err)
+		}
+		onEvent(ev)
+		switch ev.Type {
+		case "error":
+			return ScenarioRunResponse{}, fmt.Errorf("server: %s", ev.Error)
+		case "result":
+			if ev.Result != nil {
+				final = ScenarioRunResponse{Result: *ev.Result, Text: ev.Text}
+				sawResult = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ScenarioRunResponse{}, fmt.Errorf("client: reading stream: %w", err)
+	}
+	if !sawResult {
+		return ScenarioRunResponse{}, fmt.Errorf("client: stream ended without a result event")
+	}
+	return final, nil
+}
+
+// Stats fetches the server's engine/disk/process accounting.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Health probes /healthz; nil means the server is up and serving.
+func (c *Client) Health(ctx context.Context) error {
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

@@ -23,10 +23,13 @@
 package samielsq
 
 import (
+	"time"
+
 	"samielsq/internal/core"
 	"samielsq/internal/cpu"
 	"samielsq/internal/energy"
 	"samielsq/internal/experiments"
+	"samielsq/internal/experiments/engine"
 	"samielsq/internal/lsq"
 	"samielsq/internal/trace"
 )
@@ -68,6 +71,14 @@ type (
 	ScenarioResult = experiments.ScenarioResult
 	// ModelKind selects the LSQ organization of a RunSpec.
 	ModelKind = experiments.ModelKind
+
+	// EngineStats is the shared scheduler's request accounting
+	// (requests, executed, hits, inflight, canceled, evictions).
+	EngineStats = engine.Stats
+	// DiskCacheStats counts the on-disk run cache's traffic.
+	DiskCacheStats = experiments.DiskCacheStats
+	// CachePruneStats reports what a disk-cache prune removed and kept.
+	CachePruneStats = experiments.PruneStats
 )
 
 // The LSQ organizations a RunSpec can select.
@@ -93,6 +104,24 @@ func NewBatchWithCache(workers int, cacheDir string) (*Batch, error) {
 // DefaultCacheDir returns the conventional per-user on-disk run-cache
 // location (<user cache dir>/samielsq).
 func DefaultCacheDir() (string, error) { return experiments.DefaultCacheDir() }
+
+// PruneCache bounds the on-disk run cache at dir: artifacts older than
+// maxAge are removed, then the oldest until at most maxBytes remain
+// (zero disables either bound). The cache index is rebuilt first so
+// artifacts written by other processes are covered, and rewritten to
+// match afterwards. Long-lived servers apply the same bounds
+// periodically (samie-serve -cache-max-bytes / -cache-max-age); this
+// helper serves one-shot tools (samie-bench -prune) and library users.
+func PruneCache(dir string, maxBytes int64, maxAge time.Duration) (CachePruneStats, error) {
+	d, err := experiments.NewDiskCache(dir)
+	if err != nil {
+		return CachePruneStats{}, err
+	}
+	if _, err := d.RebuildIndex(); err != nil {
+		return CachePruneStats{}, err
+	}
+	return d.Prune(maxBytes, maxAge)
+}
 
 // RunSuite regenerates the paper's full evaluation — Figures 1, 3, 4,
 // 5/6 and 7-12 plus the static tables — through one shared batch, so
