@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,12 +46,23 @@ func Energy(benchmarks []string, insts uint64) EnergyResult {
 // same one Figure56 uses, so a shared batch simulates it once for
 // both harnesses.
 func (bt *Batch) Energy(benchmarks []string, insts uint64) EnergyResult {
-	conv := bt.RunAll(benchmarks, func(b string) RunSpec {
+	return mustFigure(bt.EnergyCtx(context.Background(), benchmarks, insts))
+}
+
+// EnergyCtx is Energy with cancellation (see Figure1Ctx).
+func (bt *Batch) EnergyCtx(ctx context.Context, benchmarks []string, insts uint64) (EnergyResult, error) {
+	conv, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelConventional}
 	})
-	samie := bt.RunAll(benchmarks, func(b string) RunSpec {
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	samie, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE}
 	})
+	if err != nil {
+		return EnergyResult{}, err
+	}
 	res := EnergyResult{Insts: insts}
 	for i, b := range benchmarks {
 		cm, sm := conv[i].Meter, samie[i].Meter
@@ -73,7 +85,7 @@ func (bt *Batch) Energy(benchmarks []string, insts uint64) EnergyResult {
 			AddrBufferArea: sm.AddrBufferArea,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // savings returns 1 - sum(new)/sum(old) over all rows.

@@ -20,13 +20,15 @@ import (
 	"sync/atomic"
 )
 
-// Stats is the scheduler's request accounting.
+// Stats is the scheduler's request accounting. Every finished request
+// counts toward exactly one of Executed, Hits or Canceled, so
+// Requests = Executed + Hits + Canceled once the scheduler is idle.
 type Stats struct {
 	Requests  int64 // total Do/DoCtx calls
 	Executed  int64 // jobs actually run (distinct keys)
-	Hits      int64 // requests served from cache or coalesced onto an in-flight run
+	Hits      int64 // requests served a completed result (memoized or coalesced)
 	Inflight  int64 // jobs holding a worker slot right now
-	Canceled  int64 // requests abandoned via context before completing
+	Canceled  int64 // requests abandoned via context, or released unserved by a withdrawn owner
 	Evictions int64 // completed results dropped by the LRU bound
 }
 
@@ -120,18 +122,22 @@ func (s *Scheduler[K, V]) DoCtx(ctx context.Context, key K, run func() V) (V, er
 			s.lru.MoveToFront(el)
 		}
 		s.mu.Unlock()
-		s.hits.Add(1)
 		select {
 		case <-j.done:
 		case <-ctx.Done():
 			s.canceled.Add(1)
 			return *new(V), ctx.Err()
 		}
+		if j.err != nil {
+			// The job never ran: its owner withdrew it while queued and
+			// released us with its error. We were never served, so this
+			// request is a cancellation, not a hit.
+			s.canceled.Add(1)
+			return *new(V), j.err
+		}
+		s.hits.Add(1)
 		if j.panicked != nil {
 			panic(j.panicked)
-		}
-		if j.err != nil {
-			return *new(V), j.err
 		}
 		return j.val, nil
 	}
@@ -171,7 +177,9 @@ func (s *Scheduler[K, V]) DoCtx(ctx context.Context, key K, run func() V) (V, er
 }
 
 // withdraw removes a never-started job so future requests re-execute,
-// and releases every waiter that coalesced onto it with err.
+// and releases every waiter that coalesced onto it with err. The
+// Canceled increment here covers the owning request only; each
+// released waiter counts itself when it observes j.err.
 func (s *Scheduler[K, V]) withdraw(key K, j *job[V], err error) {
 	s.mu.Lock()
 	// Only withdraw the job if it is still ours: the map cannot have

@@ -317,6 +317,78 @@ func TestDoRetriesWithdrawnJob(t *testing.T) {
 	}
 }
 
+// TestWithdrawReclassifiesWaiters verifies the accounting of queued
+// cancellation: waiters released unserved by a withdrawn owner count
+// as Canceled, not Hits, so Requests = Executed + Hits + Canceled
+// holds once the scheduler is idle.
+func TestWithdrawReclassifiesWaiters(t *testing.T) {
+	s := New[string, int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do("hog", func() int { close(started); <-release; return 1 })
+	<-started
+
+	// The owner queues behind the hog; waiters coalesce onto its job.
+	ctx, cancel := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := s.DoCtx(ctx, "contended", func() int { return 0 })
+		ownerErr <- err
+	}()
+	for s.Len() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// The waiters carry their own cancelable context so the outcome is
+	// deterministic whatever the goroutine schedule: a waiter that
+	// coalesced before the owner's cancellation is released with the
+	// owner's error; one that arrived after becomes a new owner and is
+	// withdrawn by its own context. Either way it ends Canceled exactly
+	// once and the job never runs (the hog holds the only slot
+	// throughout).
+	wctx, wcancel := context.WithCancel(context.Background())
+	const waiters = 3
+	waiterErr := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := s.DoCtx(wctx, "contended", func() int {
+				t.Error("withdrawn job ran in a waiter")
+				return 0
+			})
+			waiterErr <- err
+		}()
+	}
+	// Give the waiters a moment to block on the shared job, then cancel
+	// the owner: every coalesced waiter is released with its error.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner got %v, want context.Canceled", err)
+	}
+	wcancel()
+	for i := 0; i < waiters; i++ {
+		if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter got %v, want context.Canceled", err)
+		}
+	}
+	close(release)
+	s.Do("hog", func() int { t.Error("re-ran the hog"); return 0 })
+
+	st := s.Stats()
+	// hog + owner + waiters + the hog re-read above.
+	if st.Requests != 3+waiters {
+		t.Fatalf("requests %d, want %d", st.Requests, 3+waiters)
+	}
+	if st.Canceled != 1+waiters {
+		t.Fatalf("canceled %d, want %d (owner plus released waiters)", st.Canceled, 1+waiters)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits %d, want 1 (only the hog re-read was served)", st.Hits)
+	}
+	if st.Requests != st.Executed+st.Hits+st.Canceled {
+		t.Fatalf("accounting does not balance: %+v", st)
+	}
+}
+
 // TestOffer verifies preloaded values are served without executing and
 // never overwrite an existing job.
 func TestOffer(t *testing.T) {

@@ -1,12 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"samielsq/internal/core"
 	"samielsq/internal/stats"
 )
+
+// mustFigure unwraps a Figure*Ctx result for the context-less
+// wrappers: with a background context the only possible error is a
+// contained simulation panic, which is re-raised.
+func mustFigure[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // ---- Figure 1 ---------------------------------------------------------------
 
@@ -43,9 +54,19 @@ func Figure1(benchmarks []string, insts uint64) Figure1Result {
 // LSQ for the eight geometries, with the normal (128) and halved (64)
 // in-flight caps.
 func (bt *Batch) Figure1(benchmarks []string, insts uint64) Figure1Result {
-	base := bt.RunAll(benchmarks, func(b string) RunSpec {
+	return mustFigure(bt.Figure1Ctx(context.Background(), benchmarks, insts))
+}
+
+// Figure1Ctx is Figure1 with cancellation: when ctx fires, the
+// figure's queued simulations are withdrawn and the context error is
+// returned (started or shared simulations finish into the cache).
+func (bt *Batch) Figure1Ctx(ctx context.Context, benchmarks []string, insts uint64) (Figure1Result, error) {
+	base, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelUnbounded}
 	})
+	if err != nil {
+		return Figure1Result{}, err
+	}
 	baseIPC := make(map[string]float64, len(base))
 	for _, r := range base {
 		baseIPC[r.Spec.Benchmark] = r.CPU.IPC
@@ -54,12 +75,15 @@ func (bt *Batch) Figure1(benchmarks []string, insts uint64) Figure1Result {
 	for _, cfg := range Figure1Configs() {
 		row := Figure1Row{Config: cfg}
 		for i, inflight := range [...]int{128, 64} {
-			runs := bt.RunAll(benchmarks, func(b string) RunSpec {
+			runs, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 				return RunSpec{
 					Benchmark: b, Insts: insts, Model: ModelARB,
 					ARBBanks: cfg.Banks, ARBAddrs: cfg.Addrs, ARBInflight: inflight,
 				}
 			})
+			if err != nil {
+				return Figure1Result{}, err
+			}
 			ratios := make([]float64, 0, len(runs))
 			for _, r := range runs {
 				if b := baseIPC[r.Spec.Benchmark]; b > 0 {
@@ -75,7 +99,7 @@ func (bt *Batch) Figure1(benchmarks []string, insts uint64) Figure1Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // String renders the figure as a table.
@@ -112,6 +136,11 @@ func Figure3(benchmarks []string, insts uint64) Figure3Result {
 // SharedLSQ for DistribLSQ geometries 128x1, 64x2 and 32x4 (8 slots
 // per entry).
 func (bt *Batch) Figure3(benchmarks []string, insts uint64) Figure3Result {
+	return mustFigure(bt.Figure3Ctx(context.Background(), benchmarks, insts))
+}
+
+// Figure3Ctx is Figure3 with cancellation (see Figure1Ctx).
+func (bt *Batch) Figure3Ctx(ctx context.Context, benchmarks []string, insts uint64) (Figure3Result, error) {
 	geoms := []struct{ banks, entries int }{{128, 1}, {64, 2}, {32, 4}}
 	res := Figure3Result{Insts: insts}
 	rows := make(map[string]*Figure3Row, len(benchmarks))
@@ -123,9 +152,12 @@ func (bt *Batch) Figure3(benchmarks []string, insts uint64) Figure3Result {
 		cfg.Banks, cfg.EntriesPerBank = g.banks, g.entries
 		cfg.SharedUnbounded = true
 		cfgCopy := cfg
-		runs := bt.RunAll(benchmarks, func(b string) RunSpec {
+		runs, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 			return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE, SAMIE: &cfgCopy}
 		})
+		if err != nil {
+			return Figure3Result{}, err
+		}
 		for _, r := range runs {
 			occ := r.SAMIE.MeanSharedOcc()
 			switch gi {
@@ -141,7 +173,7 @@ func (bt *Batch) Figure3(benchmarks []string, insts uint64) Figure3Result {
 	for _, b := range benchmarks {
 		res.Rows = append(res.Rows, *rows[b])
 	}
-	return res
+	return res, nil
 }
 
 // String renders the figure as a table with a SPEC average row.
@@ -174,6 +206,11 @@ func Figure4(benchmarks []string, insts uint64, sizes []int) Figure4Result {
 
 // Figure4 reproduces Figure 4, sweeping the SharedLSQ size.
 func (bt *Batch) Figure4(benchmarks []string, insts uint64, sizes []int) Figure4Result {
+	return mustFigure(bt.Figure4Ctx(context.Background(), benchmarks, insts, sizes))
+}
+
+// Figure4Ctx is Figure4 with cancellation (see Figure1Ctx).
+func (bt *Batch) Figure4Ctx(ctx context.Context, benchmarks []string, insts uint64, sizes []int) (Figure4Result, error) {
 	if len(sizes) == 0 {
 		sizes = []int{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60}
 	}
@@ -191,9 +228,12 @@ func (bt *Batch) Figure4(benchmarks []string, insts uint64, sizes []int) Figure4
 			cfg.SharedEntries = 0
 		}
 		cfgCopy := cfg
-		runs := bt.RunAll(benchmarks, func(b string) RunSpec {
+		runs, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 			return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE, SAMIE: &cfgCopy}
 		})
+		if err != nil {
+			return Figure4Result{}, err
+		}
 		for _, r := range runs {
 			b := r.Spec.Benchmark
 			if need[b] < 0 && r.SAMIE.ABEmptyFraction() >= 0.99 {
@@ -213,7 +253,7 @@ func (bt *Batch) Figure4(benchmarks []string, insts uint64, sizes []int) Figure4
 	for b, s := range need {
 		res.PerBench[b] = s
 	}
-	return res
+	return res, nil
 }
 
 // String renders the cumulative curve.
@@ -253,12 +293,23 @@ func Figure56(benchmarks []string, insts uint64) Figure56Result {
 // 128-entry conventional LSQ) and Figure 6 (deadlock-avoidance flushes
 // per million cycles).
 func (bt *Batch) Figure56(benchmarks []string, insts uint64) Figure56Result {
-	conv := bt.RunAll(benchmarks, func(b string) RunSpec {
+	return mustFigure(bt.Figure56Ctx(context.Background(), benchmarks, insts))
+}
+
+// Figure56Ctx is Figure56 with cancellation (see Figure1Ctx).
+func (bt *Batch) Figure56Ctx(ctx context.Context, benchmarks []string, insts uint64) (Figure56Result, error) {
+	conv, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelConventional}
 	})
-	samie := bt.RunAll(benchmarks, func(b string) RunSpec {
+	if err != nil {
+		return Figure56Result{}, err
+	}
+	samie, err := bt.RunAllCtx(ctx, benchmarks, func(b string) RunSpec {
 		return RunSpec{Benchmark: b, Insts: insts, Model: ModelSAMIE}
 	})
+	if err != nil {
+		return Figure56Result{}, err
+	}
 	res := Figure56Result{Insts: insts}
 	for i, b := range benchmarks {
 		row := Figure56Row{
@@ -274,7 +325,7 @@ func (bt *Batch) Figure56(benchmarks []string, insts uint64) Figure56Result {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // MeanIPCLossPct returns the arithmetic-mean IPC loss (the paper

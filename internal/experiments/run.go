@@ -19,7 +19,7 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sync"
+	"runtime/debug"
 
 	"samielsq/internal/core"
 	"samielsq/internal/cpu"
@@ -312,19 +312,54 @@ func (b *Batch) SetCacheLimit(n int) { b.sched.SetLimit(n) }
 
 // RunAll executes one simulation per benchmark through the batch
 // (results are deterministic per benchmark; parallelism only reorders
-// wall time). build constructs the spec for each benchmark name.
+// wall time). build constructs the spec for each benchmark name. A
+// simulation panic re-raises in this caller (as an error value
+// carrying the original panic and stack) instead of crashing the
+// process from a fan-out goroutine.
 func (b *Batch) RunAll(benchmarks []string, build func(bench string) RunSpec) []RunResult {
+	rs, err := b.RunAllCtx(context.Background(), benchmarks, build)
+	if err != nil {
+		// A background context never cancels, so the only error here is
+		// a contained simulation panic.
+		panic(err)
+	}
+	return rs
+}
+
+// RunAllCtx is RunAll with cancellation and panic containment: when
+// ctx fires, the sweep's queued simulations are withdrawn and the
+// first context error is returned; a panicking simulation surfaces as
+// an error instead of crashing its fan-out goroutine's process. On
+// error the partial results are discarded, but every cell that did
+// complete stays memoized in the batch.
+func (b *Batch) RunAllCtx(ctx context.Context, benchmarks []string, build func(bench string) RunSpec) ([]RunResult, error) {
 	out := make([]RunResult, len(benchmarks))
-	var wg sync.WaitGroup
+	errs := make(chan error, len(benchmarks))
 	for i, bench := range benchmarks {
-		wg.Add(1)
 		go func(i int, bench string) {
-			defer wg.Done()
-			out[i] = b.Run(build(bench))
+			var err error
+			defer func() {
+				if p := recover(); p != nil {
+					// The panic site's stack is only reachable here;
+					// carry it so the failure stays diagnosable once
+					// flattened to an error.
+					err = fmt.Errorf("experiments: %s simulation panicked: %v\n%s", bench, p, debug.Stack())
+				}
+				errs <- err
+			}()
+			out[i], err = b.RunCtx(ctx, build(bench))
 		}(i, bench)
 	}
-	wg.Wait()
-	return out
+	var firstErr error
+	for range benchmarks {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // Stats returns the batch's scheduler accounting: how many runs were

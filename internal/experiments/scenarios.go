@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -142,8 +143,11 @@ func (bt *Batch) ScenarioCtx(ctx context.Context, name string, benchmarks []stri
 				c := cell{bi: bi, vi: vi}
 				defer func() {
 					if p := recover(); p != nil {
-						c.err = fmt.Errorf("experiments: scenario cell %s/%s panicked: %v",
-							bench, v.Name, p)
+						// The panic site's stack is only reachable here;
+						// carry it so the failure stays diagnosable once
+						// flattened to an error.
+						c.err = fmt.Errorf("experiments: scenario cell %s/%s panicked: %v\n%s",
+							bench, v.Name, p, debug.Stack())
 					}
 					results <- c
 				}()

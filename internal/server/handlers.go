@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,23 +35,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if spec.Insts == 0 {
-		spec.Insts = s.cfg.DefaultInsts
+	spec.Insts, err = s.capInsts(spec.Insts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	if s.cfg.MaxInsts > 0 && spec.Insts > s.cfg.MaxInsts {
+	n := experiments.Normalize(spec)
+	// Warm-up instructions are fully simulated before the measured
+	// ones, so the cap must bound them too or a tiny-insts request
+	// smuggles in an arbitrarily long simulation.
+	if s.cfg.MaxInsts > 0 && n.Warmup > s.cfg.MaxInsts {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("insts %d exceeds the server cap %d", spec.Insts, s.cfg.MaxInsts))
+			fmt.Sprintf("warmup %d exceeds the server cap %d", n.Warmup, s.cfg.MaxInsts))
+		return
+	}
+	if err := validSpec(n); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	res, err := s.batch.RunCtx(r.Context(), spec)
+	res, err := s.batch.RunCtx(r.Context(), n)
 	if err != nil {
 		writeError(w, statusForError(err), fmt.Sprintf("run abandoned: %v", err))
 		return
 	}
-	n := experiments.Normalize(spec)
 	writeJSON(w, http.StatusOK, client.RunResponse{
-		Key:         experiments.Key(spec),
+		Key:         experiments.Key(n),
 		Benchmark:   n.Benchmark,
 		Model:       client.ModelName(n.Model),
 		Insts:       n.Insts,
@@ -63,6 +73,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// figureOut is one rendered figure: the harness text plus the
+// structured result to serialize.
+type figureOut struct {
+	text   string
+	result any
+}
+
+// figureRun adapts one Figure*Ctx harness call to the shape
+// handleFigure renders.
+func figureRun[T interface{ String() string }](f func(ctx context.Context) (T, error)) func(context.Context) (figureOut, error) {
+	return func(ctx context.Context) (figureOut, error) {
+		v, err := f(ctx)
+		if err != nil {
+			return figureOut{}, err
+		}
+		return figureOut{v.String(), v}, nil
+	}
+}
+
 // handleFigure regenerates one paper figure through the shared batch;
 // the rendered text is byte-identical to the library harness output.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -73,64 +102,63 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	type figureOut struct {
-		text   string
-		result any
-	}
-	var run func() figureOut
+	var run func(ctx context.Context) (figureOut, error)
 	switch name {
 	case "1":
-		run = func() figureOut { f := s.batch.Figure1(benchmarks, insts); return figureOut{f.String(), f} }
+		run = figureRun(func(ctx context.Context) (experiments.Figure1Result, error) {
+			return s.batch.Figure1Ctx(ctx, benchmarks, insts)
+		})
 	case "3":
-		run = func() figureOut { f := s.batch.Figure3(benchmarks, insts); return figureOut{f.String(), f} }
+		run = figureRun(func(ctx context.Context) (experiments.Figure3Result, error) {
+			return s.batch.Figure3Ctx(ctx, benchmarks, insts)
+		})
 	case "4":
-		run = func() figureOut { f := s.batch.Figure4(benchmarks, insts, nil); return figureOut{f.String(), f} }
+		run = figureRun(func(ctx context.Context) (experiments.Figure4Result, error) {
+			return s.batch.Figure4Ctx(ctx, benchmarks, insts, nil)
+		})
 	case "56":
-		run = func() figureOut { f := s.batch.Figure56(benchmarks, insts); return figureOut{f.String(), f} }
+		run = figureRun(func(ctx context.Context) (experiments.Figure56Result, error) {
+			return s.batch.Figure56Ctx(ctx, benchmarks, insts)
+		})
 	case "energy":
-		run = func() figureOut { f := s.batch.Energy(benchmarks, insts); return figureOut{f.String(), f} }
+		run = figureRun(func(ctx context.Context) (experiments.EnergyResult, error) {
+			return s.batch.EnergyCtx(ctx, benchmarks, insts)
+		})
 	default:
 		writeError(w, http.StatusNotFound,
 			fmt.Sprintf("unknown figure %q (have %s)", name, strings.Join(client.FigureNames(), ", ")))
 		return
 	}
 
-	// The figure harnesses block; race them against the request
-	// context. An abandoned harness still completes into the shared
-	// cache, so the work is never wasted. A simulation panic must be
-	// caught here — this goroutine is outside withRecovery's reach —
-	// and surfaced as a 500 instead of tearing the process down.
-	done := make(chan figureOut, 1)
-	failed := make(chan any, 1)
-	go func() {
-		defer func() {
-			if p := recover(); p != nil {
-				failed <- p
-			}
-		}()
-		done <- run()
-	}()
-	select {
-	case out := <-done:
-		raw, err := json.Marshal(out.result)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("encoding figure: %v", err))
-			return
+	// The harnesses honor the request context: a timed-out or
+	// disconnected client withdraws the figure's queued simulations —
+	// started or shared ones finish into the cache — so abandoned
+	// figure work never outlives the admission slot that paid for it.
+	// A panicking simulation surfaces as an error, not a crash.
+	out, err := run(r.Context())
+	if err != nil {
+		code := statusForError(err)
+		if code == http.StatusInternalServerError {
+			// A contained simulation failure, not a client that went
+			// away: the error carries the panic stack, keep it in the
+			// server log even if nobody reads the response.
+			s.log.Error("figure failed", "figure", name, "err", err.Error())
 		}
-		writeJSON(w, http.StatusOK, client.FigureResponse{
-			Figure:     name,
-			Benchmarks: benchmarks,
-			Insts:      insts,
-			Text:       out.text,
-			Result:     raw,
-		})
-	case p := <-failed:
-		s.log.Error("figure panic", "figure", name, "panic", fmt.Sprint(p))
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("figure failed: %v", p))
-	case <-r.Context().Done():
-		writeError(w, statusForError(r.Context().Err()),
-			fmt.Sprintf("figure abandoned: %v", r.Context().Err()))
+		writeError(w, code, fmt.Sprintf("figure %s: %v", name, err))
+		return
 	}
+	raw, err := json.Marshal(out.result)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("encoding figure: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, client.FigureResponse{
+		Figure:     name,
+		Benchmarks: benchmarks,
+		Insts:      insts,
+		Text:       out.text,
+		Result:     raw,
+	})
 }
 
 // handleScenarios lists the registered sweeps.
@@ -174,17 +202,15 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	insts := req.Insts
-	if insts == 0 {
-		insts = s.cfg.DefaultInsts
-	}
-	if s.cfg.MaxInsts > 0 && insts > s.cfg.MaxInsts {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("insts %d exceeds the server cap %d", insts, s.cfg.MaxInsts))
+	insts, err := s.capInsts(req.Insts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	streaming := r.URL.Query().Get("stream") != ""
+	// Only truthy values stream ("1", "true", ...): ?stream=0 must get
+	// the documented plain-JSON response, not NDJSON.
+	streaming, _ := strconv.ParseBool(r.URL.Query().Get("stream"))
 	var emit func(client.ScenarioEvent)
 	if streaming {
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -218,10 +244,18 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.batch.ScenarioCtx(r.Context(), name, benchmarks, insts, onCell)
 	if err != nil {
+		code := statusForError(err)
+		if code == http.StatusInternalServerError {
+			// A contained simulation failure, not a client that went
+			// away: the error carries the panic stack, keep it in the
+			// server log (in streaming mode the client only ever sees a
+			// 200 plus an error event).
+			s.log.Error("scenario failed", "scenario", name, "err", err.Error())
+		}
 		if streaming {
 			emit(client.ScenarioEvent{Type: "error", Error: err.Error()})
 		} else {
-			writeError(w, statusForError(err), fmt.Sprintf("scenario abandoned: %v", err))
+			writeError(w, code, fmt.Sprintf("scenario abandoned: %v", err))
 		}
 		return
 	}
@@ -247,7 +281,7 @@ func (s *Server) sweepParams(benchCSV, instsStr string) ([]string, uint64, error
 	if err != nil {
 		return nil, 0, err
 	}
-	insts := s.cfg.DefaultInsts
+	var insts uint64
 	if instsStr != "" {
 		v, err := strconv.ParseUint(instsStr, 10, 64)
 		if err != nil || v == 0 {
@@ -255,8 +289,9 @@ func (s *Server) sweepParams(benchCSV, instsStr string) ([]string, uint64, error
 		}
 		insts = v
 	}
-	if s.cfg.MaxInsts > 0 && insts > s.cfg.MaxInsts {
-		return nil, 0, fmt.Errorf("insts %d exceeds the server cap %d", insts, s.cfg.MaxInsts)
+	insts, err = s.capInsts(insts)
+	if err != nil {
+		return nil, 0, err
 	}
 	return benchmarks, insts, nil
 }

@@ -123,8 +123,97 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the full middleware-wrapped service handler.
+// Recovery sits inside logging so a panicking request is converted to
+// a 500 before the log line and served counter are emitted — a panic
+// must not produce client-visible 500s that monitoring never sees.
 func (s *Server) Handler() http.Handler {
-	return s.withRecovery(s.withLogging(s.mux))
+	return s.withLogging(s.withRecovery(s.mux))
+}
+
+// capInsts applies the server's default instruction budget and the
+// -max-insts cap to one requested budget.
+func (s *Server) capInsts(insts uint64) (uint64, error) {
+	if insts == 0 {
+		insts = s.cfg.DefaultInsts
+	}
+	if s.cfg.MaxInsts > 0 && insts > s.cfg.MaxInsts {
+		return 0, fmt.Errorf("insts %d exceeds the server cap %d", insts, s.cfg.MaxInsts)
+	}
+	return insts, nil
+}
+
+// maxConfigDim bounds every client-supplied structure size or width.
+// Simulated structures allocate — and per-cycle loops iterate —
+// proportionally to these dimensions, so a tiny-insts request must
+// not smuggle in an enormous machine; 1<<20 is ~1000x the paper
+// configuration while still bounding one run's footprint.
+const maxConfigDim = 1 << 20
+
+// validSpec vets a normalized spec at the API boundary. The simulator
+// constructors panic on malformed configurations — which would
+// surface as a 500 from a worker and stay memoized under the spec's
+// key — and an oversized geometry would allocate its structures
+// inside the shared process, so both are a clean 400 instead.
+func validSpec(n experiments.RunSpec) error {
+	if err := n.CPU.Validate(); err != nil {
+		return err
+	}
+	var err error
+	dim := func(name string, v int) {
+		if err == nil && v > maxConfigDim {
+			err = fmt.Errorf("%s %d exceeds the server cap %d", name, v, maxConfigDim)
+		}
+	}
+	dim("cpu.FetchWidth", n.CPU.FetchWidth)
+	dim("cpu.DecodeWidth", n.CPU.DecodeWidth)
+	dim("cpu.IssueInt", n.CPU.IssueInt)
+	dim("cpu.IssueFP", n.CPU.IssueFP)
+	dim("cpu.CommitWidth", n.CPU.CommitWidth)
+	dim("cpu.FetchQueue", n.CPU.FetchQueue)
+	dim("cpu.ROBSize", n.CPU.ROBSize)
+	dim("cpu.IQInt", n.CPU.IQInt)
+	dim("cpu.IQFP", n.CPU.IQFP)
+	dim("cpu.IntALU", n.CPU.IntALU)
+	dim("cpu.IntMulDiv", n.CPU.IntMulDiv)
+	dim("cpu.FPALU", n.CPU.FPALU)
+	dim("cpu.FPMulDiv", n.CPU.FPMulDiv)
+	dim("cpu.DcachePorts", n.CPU.DcachePorts)
+	dim("cpu.MispredictPenalty", n.CPU.MispredictPenalty)
+	dim("cpu.DeadlockPatience", n.CPU.DeadlockPatience)
+	switch n.Model {
+	case experiments.ModelConventional:
+		if n.ConvEntries <= 0 {
+			return fmt.Errorf("conv_entries must be positive")
+		}
+		dim("conv_entries", n.ConvEntries)
+	case experiments.ModelARB:
+		if n.ARBBanks <= 0 || n.ARBAddrs <= 0 || n.ARBInflight <= 0 {
+			return fmt.Errorf("arb_banks, arb_addrs and arb_inflight must be positive")
+		}
+		dim("arb_banks", n.ARBBanks)
+		dim("arb_addrs", n.ARBAddrs)
+		dim("arb_inflight", n.ARBInflight)
+		if tot := int64(n.ARBBanks) * int64(n.ARBAddrs); err == nil && tot > maxConfigDim {
+			err = fmt.Errorf("arb_banks*arb_addrs %d exceeds the server cap %d", tot, maxConfigDim)
+		}
+	case experiments.ModelSAMIE:
+		if verr := n.SAMIE.Validate(); verr != nil {
+			return verr
+		}
+		dim("samie.Banks", n.SAMIE.Banks)
+		dim("samie.EntriesPerBank", n.SAMIE.EntriesPerBank)
+		dim("samie.SlotsPerEntry", n.SAMIE.SlotsPerEntry)
+		dim("samie.SharedEntries", n.SAMIE.SharedEntries)
+		dim("samie.AddrBufferSlots", n.SAMIE.AddrBufferSlots)
+		dim("samie.LineBytes", n.SAMIE.LineBytes)
+		// int64 keeps the product exact even on 32-bit int: the
+		// per-dimension caps bound it below 2^60.
+		if tot := int64(n.SAMIE.Banks) * int64(n.SAMIE.EntriesPerBank) * int64(n.SAMIE.SlotsPerEntry); err == nil && tot > maxConfigDim {
+			err = fmt.Errorf("samie DistribLSQ slots %d (Banks*EntriesPerBank*SlotsPerEntry) exceeds the server cap %d",
+				tot, maxConfigDim)
+		}
+	}
+	return err
 }
 
 // validBenchmarks checks every requested benchmark resolves to a

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"samielsq/internal/core"
 	"samielsq/internal/experiments"
 	"samielsq/pkg/client"
 )
@@ -98,7 +99,12 @@ func TestRunEndpointValidation(t *testing.T) {
 		"bad_model":     client.RunRequest{Benchmark: "gzip", Model: "quantum"},
 		"bad_benchmark": client.RunRequest{Benchmark: "nope", Model: client.ModelSAMIE},
 		"insts_cap":     client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: 1_000_000},
-		"not_json":      "}{",
+		"warmup_cap":    client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: 1, Warmup: 1 << 60},
+		"bad_samie_cfg": client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE, SAMIE: &core.Config{}},
+		"huge_samie": client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: 1,
+			SAMIE: &core.Config{Banks: 1 << 30, EntriesPerBank: 1, SlotsPerEntry: 1, AddrBufferSlots: 1, LineBytes: 32}},
+		"neg_conv": client.RunRequest{Benchmark: "gzip", Model: client.ModelConventional, ConvEntries: -1},
+		"not_json": "}{",
 	} {
 		resp := postJSON(t, ts.URL+"/v1/runs", body)
 		er := decodeBody[client.ErrorResponse](t, resp)
@@ -166,6 +172,18 @@ func TestScenarioEndpoints(t *testing.T) {
 
 	if resp := postJSON(t, ts.URL+"/v1/scenarios/no-such/run", client.ScenarioRunRequest{}); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown scenario gave %d, want 404", resp.StatusCode)
+	}
+
+	// Falsy stream values mean "don't stream", per the documented
+	// ?stream=1 contract (the cells above are already memoized, so this
+	// re-request is cheap).
+	run0 := postJSON(t, ts.URL+"/v1/scenarios/shared-lsq-sizes/run?stream=0",
+		client.ScenarioRunRequest{Benchmarks: []string{"gzip"}, Insts: testInsts})
+	if ct := run0.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("stream=0 answered %q, want plain application/json", ct)
+	}
+	if out0 := decodeBody[client.ScenarioRunResponse](t, run0); len(out0.Result.IPC) != 1 {
+		t.Errorf("stream=0 lost the single-JSON response shape: %+v", out0)
 	}
 }
 
@@ -287,6 +305,80 @@ func TestRequestTimeoutCancelsQueuedRun(t *testing.T) {
 		t.Errorf("engine never recorded the cancellation: %+v", st)
 	}
 	<-hog
+}
+
+// TestRequestTimeoutCancelsQueuedFigure verifies the figure endpoints
+// honor the request deadline: queued simulations are withdrawn (no
+// background work survives the 504) instead of running to completion
+// in an untracked goroutine.
+func TestRequestTimeoutCancelsQueuedFigure(t *testing.T) {
+	batch := experiments.NewBatch(1)
+	_, ts, _ := newTestServer(t, Config{Batch: batch, RequestTimeout: 30 * time.Millisecond})
+
+	// Occupy the single worker slot so the figure's simulations queue.
+	hog := make(chan struct{})
+	go func() {
+		defer close(hog)
+		batch.Run(experiments.RunSpec{Benchmark: "swim", Insts: 400_000, Model: experiments.ModelSAMIE})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for batch.Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hog simulation never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/figures/56?bench=gzip&insts=" + strconv.Itoa(testInsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	er := decodeBody[client.ErrorResponse](t, resp)
+	if !strings.Contains(er.Error, "figure 56") {
+		t.Errorf("error %q does not name the figure", er.Error)
+	}
+	if st := batch.Stats(); st.Canceled == 0 {
+		t.Errorf("engine never recorded the figure cancellation: %+v", st)
+	}
+	// Nothing but the hog may execute: the timed-out figure's queued
+	// simulations were withdrawn, not left running in the background.
+	<-hog
+	if st := batch.Stats(); st.Executed != 1 {
+		t.Errorf("abandoned figure work executed anyway: %+v", st)
+	}
+}
+
+// TestRecoveryInsideLogging verifies the middleware order Handler()
+// uses: a panic becomes a 500 inside the logging wrapper, so the
+// request still produces a log line and counts toward the served
+// total instead of vanishing from monitoring.
+func TestRecoveryInsideLogging(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Batch:  experiments.NewBatch(1),
+		Logger: slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.withLogging(s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/panicking", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if got := s.served.Load(); got != 1 {
+		t.Errorf("served count %d, want 1: panicking request escaped accounting", got)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "status=500") || !strings.Contains(log, "/panicking") {
+		t.Errorf("request log missing the panicking request:\n%s", log)
+	}
 }
 
 func TestMetricsExposition(t *testing.T) {
