@@ -4,18 +4,34 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"samielsq"
 	"samielsq/pkg/client"
+	"samielsq/pkg/cluster"
 )
 
+// remoteClient builds the driver for -server: a plain typed client for
+// one URL, or the rendezvous-sharded fabric when the flag carries a
+// comma-separated replica list.
+func remoteClient(serverURL string) (client.API, error) {
+	if strings.Contains(serverURL, ",") {
+		return cluster.New(strings.Split(serverURL, ","))
+	}
+	return client.New(serverURL), nil
+}
+
 // runRemote executes the requested figures and scenarios against a
-// samie-serve instance instead of simulating locally; the server's
-// long-lived batch dedups the work across every client. Returns a
-// process exit code.
+// samie-serve instance (or a replica set behind the cluster fabric)
+// instead of simulating locally; the server-side batches dedup the
+// work across every client. Returns a process exit code.
 func runRemote(serverURL string, benchmarks []string, insts uint64, figs, scenarios []string, listScenarios, stats bool, want func(string) bool, energyWanted bool) int {
-	c := client.New(serverURL)
+	c, err := remoteClient(serverURL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	ctx := context.Background()
 	if err := c.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "server %s unreachable: %v\n", serverURL, err)

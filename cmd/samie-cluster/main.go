@@ -1,0 +1,140 @@
+// Command samie-cluster fans whole-suite or scenario regeneration out
+// across a set of samie-serve replicas: the suite's distinct
+// simulations are partitioned by rendezvous hashing of their canonical
+// keys, each replica executes its shard exactly once (streaming
+// results back as they complete), and the paper artefacts are
+// reassembled locally — byte-identical to the single-node harnesses.
+// A replica that dies mid-sweep is quarantined and its remaining work
+// re-shards onto the survivors.
+//
+// Usage:
+//
+//	samie-cluster -replicas http://a:8344,http://b:8344                 # full suite, all 26 benchmarks
+//	samie-cluster -replicas ... -bench ammp,gzip,mcf,swim -insts 25000  # golden subset
+//	samie-cluster -replicas ... -scenario models -scenario adversarial  # sharded sweeps
+//	samie-cluster -replicas ... -stats                                  # + per-replica accounting (stderr)
+//
+// See docs/cluster.md for the deployment story.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/pkg/cluster"
+)
+
+type stringList []string
+
+func (f *stringList) String() string     { return strings.Join(*f, ",") }
+func (f *stringList) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var scenarios stringList
+	replicas := flag.String("replicas", "", "comma-separated samie-serve base URLs (required)")
+	benchCSV := flag.String("bench", "", "comma-separated benchmark subset (default: all 26; scenarios may carry their own default rows)")
+	insts := flag.Uint64("insts", 0, "measured instructions per benchmark (default: the library default)")
+	flag.Var(&scenarios, "scenario", "registered scenario sweep to shard across the cluster; repeatable (default: the full suite)")
+	stats := flag.Bool("stats", false, "print per-replica and aggregate engine accounting to stderr afterwards")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the sweep (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "-replicas is required (comma-separated samie-serve URLs)")
+		os.Exit(2)
+	}
+
+	c, err := cluster.New(strings.Split(*replicas, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := c.Health(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var benchmarks []string // nil = the full suite / scenario default
+	if *benchCSV != "" {
+		benchmarks = strings.Split(*benchCSV, ",")
+	}
+	// Validate scenario names up front: a typo must not cost a sweep.
+	for _, name := range scenarios {
+		if _, ok := experiments.LookupScenario(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (have %s)\n", name, strings.Join(experiments.ScenarioNames(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	progress := func(label string) func(cluster.Progress) {
+		if *quiet {
+			return nil
+		}
+		return func(p cluster.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs (last from %s)", label, p.Done, p.Total, p.Replica)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if len(scenarios) == 0 {
+		res, err := c.Suite(ctx, benchmarks, *insts, progress("suite"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Exact bytes (no extra newline): CI diffs this against the
+		// golden suite rendering.
+		fmt.Print(res.String())
+	}
+	for _, name := range scenarios {
+		res, err := c.Scenario(ctx, name, benchmarks, *insts, progress(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+	}
+
+	if *stats {
+		per, err := c.PerReplicaStats(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reps := make([]string, 0, len(per))
+		for rep := range per {
+			reps = append(reps, rep)
+		}
+		sort.Strings(reps)
+		var executed, requests, hits int64
+		for _, rep := range reps {
+			st := per[rep]
+			executed += st.Engine.Executed
+			requests += st.Engine.Requests
+			hits += st.Engine.Hits
+			fmt.Fprintf(os.Stderr, "replica %s: %d executed, %d of %d served from cache, %d workers, up %s\n",
+				rep, st.Engine.Executed, st.Engine.Hits, st.Engine.Requests,
+				st.Workers, (time.Duration(st.UptimeSeconds) * time.Second).Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "cluster: %d replicas, %d simulations executed, %d of %d requests served from cache\n",
+			len(reps), executed, hits, requests)
+	}
+}

@@ -171,6 +171,11 @@ func main() {
 		log.Error("shutdown", "err", err)
 		os.Exit(1)
 	}
+	// Flush the disk cache's debounced index so the next process over
+	// this directory enumerates everything this one wrote.
+	if err := batch.Close(); err != nil {
+		log.Warn("cache close", "err", err)
+	}
 	st := batch.Stats()
 	log.Info("stopped", "executed", st.Executed, "hits", st.Hits, "requests", st.Requests)
 }

@@ -19,11 +19,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"samielsq"
 	"samielsq/internal/server"
 	"samielsq/pkg/client"
+	"samielsq/pkg/cluster"
 )
 
 // e2eInsts is the per-benchmark instruction budget for simulation
@@ -64,6 +67,9 @@ func TestE2E(t *testing.T) {
 		{"E00016", "server_figures_match_golden_suite", caseServerFiguresGolden},
 		{"E00017", "server_metrics_exposition_parses", caseServerMetrics},
 		{"E00018", "server_scenario_stream_matches_library", caseServerScenarioStream},
+		{"E00019", "cluster_two_replica_suite_exactly_once", caseClusterSuiteExactlyOnce},
+		{"E00020", "cluster_failover_replica_stopped_mid_sweep", caseClusterFailoverMidSweep},
+		{"E00021", "server_run_cache_probe", caseRunCacheProbe},
 	}
 	seen := map[string]bool{}
 	for _, c := range cases {
@@ -467,5 +473,146 @@ func caseKeyCanonicalization(t *testing.T) {
 	}
 	if r1.CPU != r2.CPU {
 		t.Error("coalesced runs returned different results")
+	}
+}
+
+// bootReplica starts one service replica for the cluster cases,
+// returning its httptest server (so a test can sever live connections,
+// simulating a stopped process), the backing batch for engine-level
+// assertions, and a kill switch that 503s every subsequent request.
+func bootReplica(t *testing.T) (*httptest.Server, *samielsq.Batch, *atomic.Bool) {
+	t.Helper()
+	batch := samielsq.NewBatch(0)
+	s, err := server.New(server.Config{
+		Batch:        batch,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultInsts: e2eInsts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := &atomic.Bool{}
+	h := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if kill.Load() {
+			http.Error(w, "replica stopped", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, batch, kill
+}
+
+func caseClusterSuiteExactlyOnce(t *testing.T) {
+	tsA, batchA, _ := bootReplica(t)
+	tsB, batchB, _ := bootReplica(t)
+	cs, err := cluster.New([]string{tsA.URL, tsB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	suite, err := cs.Suite(ctx, e2eBench, e2eInsts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster-regenerated suite must be byte-identical to the
+	// single-node path: same figures, same tables, same accounting.
+	want := samielsq.RunSuite(e2eBench, e2eInsts())
+	if got := suite.String(); got != want.String() {
+		t.Errorf("cluster suite differs from single-node RunSuite\ncluster:\n%s\nsingle-node:\n%s", got, want.String())
+	}
+
+	// Exactly-once cluster-wide, verified from the replicas' engine
+	// stats aggregated through /v1/stats: the distinct spec count is
+	// the total executed, split across both replicas.
+	specs := samielsq.SuiteSpecs(e2eBench, e2eInsts())
+	agg, err := cs.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Engine.Executed != int64(len(specs)) {
+		t.Errorf("cluster executed %d simulations for %d distinct specs", agg.Engine.Executed, len(specs))
+	}
+	execA, execB := batchA.Stats().Executed, batchB.Stats().Executed
+	if execA+execB != int64(len(specs)) {
+		t.Errorf("replica executions %d+%d != %d distinct specs", execA, execB, len(specs))
+	}
+	if execA == 0 || execB == 0 {
+		t.Errorf("sharding degenerate: replica executions A=%d B=%d", execA, execB)
+	}
+}
+
+func caseClusterFailoverMidSweep(t *testing.T) {
+	tsA, batchA, killA := bootReplica(t)
+	tsB, batchB, _ := bootReplica(t)
+	cs, err := cluster.New([]string{tsA.URL, tsB.URL}, cluster.WithQuarantine(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop replica A after the first completed run lands: new requests
+	// 503 and its live suite stream is severed, exactly what a killed
+	// process looks like to the coordinator. The sweep must finish on
+	// B and still render byte-identically.
+	var stopOnce sync.Once
+	suite, err := cs.Suite(context.Background(), e2eBench[:1], e2eInsts(), func(p cluster.Progress) {
+		stopOnce.Do(func() {
+			killA.Store(true)
+			tsA.CloseClientConnections()
+		})
+	})
+	if err != nil {
+		t.Fatalf("sweep did not survive losing a replica: %v", err)
+	}
+	want := samielsq.RunSuite(e2eBench[:1], e2eInsts())
+	if got := suite.String(); got != want.String() {
+		t.Errorf("post-failover suite differs from single-node RunSuite\ncluster:\n%s\nsingle-node:\n%s", got, want.String())
+	}
+	// The survivor carried the sweep; the stopped replica may have
+	// executed a handful before dying, but every distinct spec is
+	// covered at least once.
+	specs := samielsq.SuiteSpecs(e2eBench[:1], e2eInsts())
+	execA, execB := batchA.Stats().Executed, batchB.Stats().Executed
+	if execB == 0 {
+		t.Error("surviving replica executed nothing")
+	}
+	if execA+execB < int64(len(specs)) {
+		t.Errorf("cluster executed %d+%d simulations, fewer than the %d distinct specs", execA, execB, len(specs))
+	}
+}
+
+func caseRunCacheProbe(t *testing.T) {
+	c, batch := bootServer(t)
+	ctx := context.Background()
+
+	spec := samielsq.RunSpec{Benchmark: "swim", Insts: e2eInsts(), Model: samielsq.ModelSAMIE}
+	key := samielsq.RunKey(spec)
+
+	// Probing an unknown key is a clean miss that never simulates.
+	if _, ok, err := c.ProbeRun(ctx, key); err != nil || ok {
+		t.Fatalf("probe before run = ok=%v err=%v, want miss", ok, err)
+	}
+	if batch.Stats().Requests != 0 {
+		t.Fatal("cache probe reached the engine")
+	}
+
+	ran, err := c.Run(ctx, client.RunRequest{Benchmark: "swim", Model: client.ModelSAMIE, Insts: e2eInsts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Key != key {
+		t.Fatalf("server key %q differs from library RunKey %q", ran.Key, key)
+	}
+	got, ok, err := c.ProbeRun(ctx, key)
+	if err != nil || !ok {
+		t.Fatalf("probe after run = ok=%v err=%v, want hit", ok, err)
+	}
+	if got.CPU != ran.CPU || got.LSQEnergyNJ != ran.LSQEnergyNJ {
+		t.Errorf("probe payload differs from the original run")
+	}
+	if st := batch.Stats(); st.Requests != 1 || st.Executed != 1 {
+		t.Errorf("probes distorted engine accounting: %+v", st)
 	}
 }

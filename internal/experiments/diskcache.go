@@ -102,6 +102,19 @@ type DiskCache struct {
 	mu  sync.Mutex
 	idx map[string]indexEntry
 
+	// Index flushes are debounced: a store marks the index dirty and
+	// arms a timer; the whole O(N) marshal+write happens once per
+	// flushDelay however many artifacts land in the window, instead of
+	// once per store (O(N²) aggregate for a long-lived server). The
+	// index stays an accelerator, never an authority — per-key loads go
+	// to the content-addressed file — so a crash before the timer fires
+	// loses only enumeration hints, which RebuildIndex recovers.
+	// Prune, RebuildIndex and Close flush synchronously.
+	flushDelay time.Duration
+	dirty      bool
+	flushTimer *time.Timer
+	closed     bool
+
 	// idxWriteMu serializes index.json rewrites so a newer snapshot is
 	// never clobbered by an older one racing its rename.
 	idxWriteMu sync.Mutex
@@ -124,6 +137,11 @@ type diskIndex struct {
 	Keys    map[string]indexEntry
 }
 
+// defaultFlushDelay is how long a dirty index may wait before its
+// debounced rewrite; long enough to batch a burst of stores, short
+// enough that a sibling process adopting the index sees fresh keys.
+const defaultFlushDelay = time.Second
+
 // NewDiskCache opens (creating if needed) a cache rooted at dir,
 // adopting a compatible existing index.
 func NewDiskCache(dir string) (*DiskCache, error) {
@@ -133,7 +151,7 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiments: disk cache: %w", err)
 	}
-	d := &DiskCache{dir: dir, idx: map[string]indexEntry{}}
+	d := &DiskCache{dir: dir, idx: map[string]indexEntry{}, flushDelay: defaultFlushDelay}
 	if data, err := os.ReadFile(filepath.Join(dir, indexFile)); err == nil {
 		var ix diskIndex
 		if json.Unmarshal(data, &ix) == nil &&
@@ -242,8 +260,71 @@ func (d *DiskCache) store(key string, res RunResult) {
 	d.writes.Add(1)
 	d.mu.Lock()
 	d.idx[key] = indexEntry{File: filepath.Base(path), Bytes: int64(len(data)), Mod: time.Now().Unix()}
+	d.markDirtyLocked()
+	d.mu.Unlock()
+}
+
+// markDirtyLocked notes an index change and arms the debounce timer if
+// none is pending. Caller holds d.mu. A closed cache flushed on Close;
+// a straggling store after that is still served per-key from its
+// artifact, so losing its index entry is harmless.
+func (d *DiskCache) markDirtyLocked() {
+	d.dirty = true
+	if d.flushTimer == nil && !d.closed {
+		d.flushTimer = time.AfterFunc(d.flushDelay, d.debouncedFlush)
+	}
+}
+
+// debouncedFlush is the timer callback: rewrite the index if it is
+// still dirty.
+func (d *DiskCache) debouncedFlush() {
+	d.mu.Lock()
+	d.flushTimer = nil
+	dirty := d.dirty
+	d.dirty = false
+	d.mu.Unlock()
+	if dirty {
+		d.flushIndex()
+	}
+}
+
+// FlushIndex rewrites index.json immediately, cancelling any pending
+// debounced flush. Call it before handing the directory to another
+// process that will enumerate the index (tests, CI assertions);
+// Prune, RebuildIndex and Close already do.
+func (d *DiskCache) FlushIndex() {
+	d.mu.Lock()
+	d.dirty = false
+	if d.flushTimer != nil {
+		d.flushTimer.Stop()
+		d.flushTimer = nil
+	}
 	d.mu.Unlock()
 	d.flushIndex()
+}
+
+// Close flushes a dirty index and stops the debounce timer. The cache
+// remains usable for per-key loads and stores (it holds no other
+// resources), but further index changes are no longer flushed
+// automatically. Safe to call more than once.
+func (d *DiskCache) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	dirty := d.dirty
+	d.dirty = false
+	if d.flushTimer != nil {
+		d.flushTimer.Stop()
+		d.flushTimer = nil
+	}
+	d.mu.Unlock()
+	if dirty {
+		d.flushIndex()
+	}
+	return nil
 }
 
 // flushIndex atomically rewrites index.json from a snapshot of the
@@ -322,7 +403,7 @@ func (d *DiskCache) RebuildIndex() (int, error) {
 	d.mu.Lock()
 	d.idx = fresh
 	d.mu.Unlock()
-	d.flushIndex()
+	d.FlushIndex()
 	return len(fresh), nil
 }
 
@@ -402,6 +483,6 @@ func (d *DiskCache) Prune(maxBytes int64, maxAge time.Duration) (PruneStats, err
 		}
 	}
 	d.mu.Unlock()
-	d.flushIndex()
+	d.FlushIndex()
 	return ps, nil
 }

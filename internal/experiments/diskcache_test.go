@@ -159,6 +159,11 @@ func TestDiskCacheIndexAndPreload(t *testing.T) {
 	if keys := b1.Disk().Keys(); len(keys) != 2 {
 		t.Fatalf("index holds %d keys after 2 stores, want 2", len(keys))
 	}
+	// Index rewrites are debounced; Close forces the flush so a fresh
+	// process adopting the directory sees both keys.
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// A fresh batch over the same directory preloads the whole suite
 	// from the index: both specs then serve from memory with zero
@@ -205,6 +210,7 @@ func TestDiskCacheRebuildIndex(t *testing.T) {
 	}
 	b.Run(specFor("gzip"))
 	b.Run(specFor("mcf"))
+	b.Disk().FlushIndex()
 	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
 		t.Fatal(err)
 	}
@@ -307,6 +313,78 @@ func TestDiskCachePruneByAge(t *testing.T) {
 	nb.Run(specFor("swim"))
 	if st := nb.DiskStats(); st.Hits != 1 {
 		t.Fatalf("surviving artifact no longer serves: %+v", st)
+	}
+}
+
+func TestDiskCacheDebouncedIndexFlush(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Disk()
+	// Lengthen the debounce so the window is observable: the store must
+	// NOT rewrite index.json synchronously.
+	d.flushDelay = time.Hour
+	b.Run(specFor("gzip"))
+	if _, err := os.Stat(filepath.Join(dir, indexFile)); !os.IsNotExist(err) {
+		t.Fatalf("index.json written synchronously by store (err=%v); flush should be debounced", err)
+	}
+	// The in-memory index already enumerates the key regardless.
+	if keys := d.Keys(); len(keys) != 1 {
+		t.Fatalf("in-memory index holds %d keys, want 1", len(keys))
+	}
+	// A second store inside the pending window does not re-arm the
+	// timer: one flush covers the burst.
+	b.Run(specFor("swim"))
+	if _, err := os.Stat(filepath.Join(dir, indexFile)); !os.IsNotExist(err) {
+		t.Fatalf("burst store flushed early (err=%v)", err)
+	}
+
+	// With a short debounce the flush arrives without any forced call,
+	// carrying every store of the burst.
+	dirShort := t.TempDir()
+	bs, err := NewBatchWithCache(1, dirShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs.Disk().flushDelay = 10 * time.Millisecond
+	bs.Run(specFor("gzip"))
+	bs.Run(specFor("swim"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nd, err := NewDiskCache(dirShort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keys := nd.Keys(); len(keys) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("debounced flush never wrote a complete index.json")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Close on a dirty cache flushes immediately, and is idempotent.
+	dir2 := t.TempDir()
+	b2, err := NewBatchWithCache(1, dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Disk().flushDelay = time.Hour
+	b2.Run(specFor("gzip"))
+	if _, err := os.Stat(filepath.Join(dir2, indexFile)); !os.IsNotExist(err) {
+		t.Fatal("index.json present before Close despite hour-long debounce")
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, indexFile)); err != nil {
+		t.Fatalf("Close did not flush the index: %v", err)
 	}
 }
 

@@ -141,7 +141,7 @@ func (bt *Batch) Figure3(benchmarks []string, insts uint64) Figure3Result {
 
 // Figure3Ctx is Figure3 with cancellation (see Figure1Ctx).
 func (bt *Batch) Figure3Ctx(ctx context.Context, benchmarks []string, insts uint64) (Figure3Result, error) {
-	geoms := []struct{ banks, entries int }{{128, 1}, {64, 2}, {32, 4}}
+	geoms := figure3Geoms
 	res := Figure3Result{Insts: insts}
 	rows := make(map[string]*Figure3Row, len(benchmarks))
 	for _, b := range benchmarks {
@@ -212,7 +212,7 @@ func (bt *Batch) Figure4(benchmarks []string, insts uint64, sizes []int) Figure4
 // Figure4Ctx is Figure4 with cancellation (see Figure1Ctx).
 func (bt *Batch) Figure4Ctx(ctx context.Context, benchmarks []string, insts uint64, sizes []int) (Figure4Result, error) {
 	if len(sizes) == 0 {
-		sizes = []int{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60}
+		sizes = figure4DefaultSizes
 	}
 	res := Figure4Result{Sizes: sizes, Insts: insts, PerBench: make(map[string]int)}
 	need := make(map[string]int, len(benchmarks))

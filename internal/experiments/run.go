@@ -273,6 +273,17 @@ func (b *Batch) jobFor(n RunSpec, key string) func() RunResult {
 // Disk returns the attached disk cache, or nil.
 func (b *Batch) Disk() *DiskCache { return b.disk }
 
+// Close flushes the attached disk cache's debounced index (if any).
+// Call it when a batch that persisted results is done — CLI exit,
+// server drain — so sibling processes adopting the cache directory
+// enumerate every artifact this batch wrote.
+func (b *Batch) Close() error {
+	if b.disk != nil {
+		return b.disk.Close()
+	}
+	return nil
+}
+
 // PreloadDisk installs every indexed on-disk artifact into the batch's
 // in-memory run cache, so a long-lived batch (a service) starts warm
 // without re-reading artifacts on first request. Returns how many

@@ -11,6 +11,7 @@ import (
 	"samielsq/internal/core"
 	"samielsq/internal/cpu"
 	"samielsq/internal/stats"
+	"samielsq/internal/trace"
 )
 
 // Variant is one column of a scenario: a named spec builder applied to
@@ -27,6 +28,27 @@ type Scenario struct {
 	Name        string
 	Description string
 	Variants    []Variant
+
+	// Benchmarks, when set, are the default rows of the sweep when the
+	// caller passes none; nil means the full 26-program SPEC suite.
+	// Scenarios built around non-SPEC workloads (the adversarial
+	// personalities) use this so `-scenario name` needs no -bench.
+	Benchmarks []string
+}
+
+// ResolveBenchmarks applies the scenario's default rows: an explicit
+// list wins, then the scenario's own default, then the full suite.
+// Every consumer of the rule — ScenarioCtx, ScenarioSpecs, the HTTP
+// handler — resolves through here, so the precedence lives in exactly
+// one place.
+func (sc Scenario) ResolveBenchmarks(benchmarks []string) []string {
+	if len(benchmarks) > 0 {
+		return benchmarks
+	}
+	if len(sc.Benchmarks) > 0 {
+		return sc.Benchmarks
+	}
+	return Benchmarks()
 }
 
 var (
@@ -116,6 +138,7 @@ func (bt *Batch) ScenarioCtx(ctx context.Context, name string, benchmarks []stri
 		return ScenarioResult{}, fmt.Errorf("experiments: unknown scenario %q (have %s)",
 			name, strings.Join(ScenarioNames(), ", "))
 	}
+	benchmarks = sc.ResolveBenchmarks(benchmarks)
 	if insts == 0 {
 		insts = DefaultInsts
 	}
@@ -343,6 +366,20 @@ func init() {
 			cpuVariant("patience-8", func(c *cpu.Config) { c.DeadlockPatience = 8 }),
 			cpuVariant("patience-32", func(c *cpu.Config) { c.DeadlockPatience = 32 }),
 			cpuVariant("patience-128", func(c *cpu.Config) { c.DeadlockPatience = 128 }),
+		},
+	})
+	RegisterScenario(Scenario{
+		Name:        "adversarial",
+		Description: "LSQ organizations under the adversarial stress workloads (default rows: pointer-chaser, store-burst)",
+		Benchmarks:  trace.AdversarialBenchmarks(),
+		Variants: []Variant{
+			{Name: "conv-128", Spec: func(b string, i uint64) RunSpec {
+				return RunSpec{Benchmark: b, Insts: i, Model: ModelConventional, ConvEntries: 128}
+			}},
+			{Name: "unbounded", Spec: func(b string, i uint64) RunSpec {
+				return RunSpec{Benchmark: b, Insts: i, Model: ModelUnbounded}
+			}},
+			samieVariant("samie-paper", func(*core.Config) {}),
 		},
 	})
 	RegisterScenario(Scenario{

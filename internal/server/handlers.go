@@ -18,48 +18,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleRun executes (or serves from the shared cache) one simulation.
-// Two concurrent identical requests coalesce into a single run.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req client.RunRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
-	}
+// vetRun validates one wire run request end to end — benchmark,
+// instruction and warm-up caps, model geometry — and returns the
+// normalized spec it describes.
+func (s *Server) vetRun(req client.RunRequest) (experiments.RunSpec, error) {
 	spec, err := req.Spec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return experiments.RunSpec{}, err
 	}
 	if _, err := validBenchmarks([]string{spec.Benchmark}); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return experiments.RunSpec{}, err
 	}
 	spec.Insts, err = s.capInsts(spec.Insts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return experiments.RunSpec{}, err
 	}
 	n := experiments.Normalize(spec)
 	// Warm-up instructions are fully simulated before the measured
 	// ones, so the cap must bound them too or a tiny-insts request
 	// smuggles in an arbitrarily long simulation.
 	if s.cfg.MaxInsts > 0 && n.Warmup > s.cfg.MaxInsts {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("warmup %d exceeds the server cap %d", n.Warmup, s.cfg.MaxInsts))
-		return
+		return experiments.RunSpec{}, fmt.Errorf("warmup %d exceeds the server cap %d", n.Warmup, s.cfg.MaxInsts)
 	}
 	if err := validSpec(n); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return experiments.RunSpec{}, err
 	}
+	return n, nil
+}
 
-	res, err := s.batch.RunCtx(r.Context(), n)
-	if err != nil {
-		writeError(w, statusForError(err), fmt.Sprintf("run abandoned: %v", err))
-		return
-	}
-	writeJSON(w, http.StatusOK, client.RunResponse{
+// runResponseFor renders a normalized spec and its result as the wire
+// response.
+func runResponseFor(n experiments.RunSpec, res experiments.RunResult) client.RunResponse {
+	return client.RunResponse{
 		Key:         experiments.Key(n),
 		Benchmark:   n.Benchmark,
 		Model:       client.ModelName(n.Model),
@@ -70,7 +60,133 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Conv:        res.Conv,
 		Meter:       res.Meter,
 		LSQEnergyNJ: res.LSQEnergyNJ(),
-	})
+	}
+}
+
+// handleRun executes (or serves from the shared cache) one simulation.
+// Two concurrent identical requests coalesce into a single run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req client.RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	n, err := s.vetRun(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	res, err := s.batch.RunCtx(r.Context(), n)
+	if err != nil {
+		writeError(w, statusForError(err), fmt.Sprintf("run abandoned: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponseFor(n, res))
+}
+
+// handleRunProbe answers whether the batch already holds the result
+// for a canonical spec key — in memory or on disk — without ever
+// simulating. 404 means "not cached", not "invalid": a cluster
+// coordinator uses the distinction to decide where work must go.
+func (s *Server) handleRunProbe(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.batch.Cached(key)
+	if !ok {
+		s.probeMisses.Add(1)
+		writeError(w, http.StatusNotFound, "run not cached")
+		return
+	}
+	s.probeHits.Add(1)
+	writeJSON(w, http.StatusOK, runResponseFor(res.Spec, res))
+}
+
+// maxSuiteSpecs bounds one suite request's explicit shard. Every spec
+// fans out a goroutine and a queued engine job while holding a single
+// admission slot, so an unbounded list would let one request smuggle
+// arbitrary load past the semaphore the way the /v1/runs caps exist to
+// prevent. 4096 comfortably covers the largest legitimate shard (the
+// full 26-benchmark suite is 962 distinct specs).
+const maxSuiteSpecs = 4096
+
+// handleSuite executes a suite spec set through the shared batch: the
+// full enumeration for the requested benchmarks, or — the cluster
+// shard path — exactly the specs the request names. With ?stream=1 the
+// response is NDJSON: one "run" event per completed simulation (in
+// completion order) carrying the full run payload, then a final
+// "result" event.
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var req client.SuiteRequest
+	// Shards embed whole config objects per spec, so the body cap is
+	// generous relative to /v1/runs.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	var specs []experiments.RunSpec
+	if len(req.Specs) > maxSuiteSpecs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d specs exceeds the per-request cap %d", len(req.Specs), maxSuiteSpecs))
+		return
+	}
+	if len(req.Specs) > 0 {
+		specs = make([]experiments.RunSpec, 0, len(req.Specs))
+		for i, rr := range req.Specs {
+			n, err := s.vetRun(rr)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+				return
+			}
+			specs = append(specs, n)
+		}
+	} else {
+		benchmarks, err := validBenchmarks(req.Benchmarks)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		insts, err := s.capInsts(req.Insts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		specs = experiments.SuiteSpecs(benchmarks, insts)
+	}
+	s.suiteSpecs.Add(int64(len(specs)))
+
+	emit := s.ndjsonEmitter(w, r)
+	var onDone func(res experiments.RunResult, done, total int)
+	if emit != nil {
+		onDone = func(res experiments.RunResult, done, total int) {
+			rr := runResponseFor(res.Spec, res)
+			emit(client.SuiteEvent{Type: "run", Run: &rr, Done: done, Total: total})
+		}
+	}
+	results, err := s.batch.RunEachCtx(r.Context(), specs, onDone)
+	if err != nil {
+		code := statusForError(err)
+		if code == http.StatusInternalServerError {
+			// A contained simulation failure, not a client that went
+			// away: the error carries the panic stack, keep it in the
+			// server log.
+			s.log.Error("suite failed", "err", err.Error())
+		}
+		if emit != nil {
+			emit(client.SuiteEvent{Type: "error", Error: err.Error()})
+		} else {
+			writeError(w, code, fmt.Sprintf("suite abandoned: %v", err))
+		}
+		return
+	}
+	if emit != nil {
+		emit(client.SuiteEvent{Type: "result", Total: len(specs)})
+		return
+	}
+	out := client.SuiteResponse{Total: len(specs), Runs: make([]client.RunResponse, 0, len(results))}
+	for _, res := range results {
+		out.Runs = append(out.Runs, runResponseFor(res.Spec, res))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // figureOut is one rendered figure: the harness text plus the
@@ -170,7 +286,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		info := client.ScenarioInfo{Name: sc.Name, Description: sc.Description}
+		info := client.ScenarioInfo{Name: sc.Name, Description: sc.Description, Benchmarks: sc.Benchmarks}
 		for _, v := range sc.Variants {
 			info.Variants = append(info.Variants, v.Name)
 		}
@@ -186,7 +302,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// Resolve existence before any streaming headers go out, so an
 	// unknown name is a clean 404.
-	_, ok := experiments.LookupScenario(name)
+	sc, ok := experiments.LookupScenario(name)
 	if !ok {
 		writeError(w, http.StatusNotFound,
 			fmt.Sprintf("unknown scenario %q (have %s)", name, strings.Join(experiments.ScenarioNames(), ", ")))
@@ -197,7 +313,9 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	benchmarks, err := validBenchmarks(req.Benchmarks)
+	// One resolution rule everywhere: explicit request, then the
+	// scenario's default rows, then the full suite.
+	benchmarks, err := validBenchmarks(sc.ResolveBenchmarks(req.Benchmarks))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -208,23 +326,8 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Only truthy values stream ("1", "true", ...): ?stream=0 must get
-	// the documented plain-JSON response, not NDJSON.
-	streaming, _ := strconv.ParseBool(r.URL.Query().Get("stream"))
-	var emit func(client.ScenarioEvent)
-	if streaming {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		enc := json.NewEncoder(w)
-		enc.SetEscapeHTML(false)
-		flusher, _ := w.(http.Flusher)
-		emit = func(ev client.ScenarioEvent) {
-			_ = enc.Encode(ev) // Encode appends the newline NDJSON needs
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}
+	emit := s.ndjsonEmitter(w, r)
+	streaming := emit != nil
 
 	// The library sweep does the fan-out, cancellation and panic
 	// containment; the server only translates progress into NDJSON.

@@ -23,6 +23,9 @@ func (s *Server) statsSnapshot() client.StatsResponse {
 		InflightHTTP:   s.inflight.Load(),
 		RequestsServed: s.served.Load(),
 		Throttled:      s.throttled.Load(),
+		ProbeHits:      s.probeHits.Load(),
+		ProbeMisses:    s.probeMisses.Load(),
+		SuiteSpecs:     s.suiteSpecs.Load(),
 		CacheDir:       s.cfg.CacheDir,
 		Preloaded:      s.cfg.Preloaded,
 		UptimeSeconds:  time.Since(s.start).Seconds(),
@@ -56,6 +59,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"samie_disk_cache_writes_total", "Artifacts persisted to the on-disk cache.", "counter", float64(st.Disk.Writes)},
 		{"samie_http_requests_total", "HTTP requests served, all endpoints.", "counter", float64(st.RequestsServed)},
 		{"samie_http_throttled_total", "Requests shed with 429 at the admission semaphore.", "counter", float64(st.Throttled)},
+		{"samie_http_probe_hits_total", "Cache probes (GET /v1/runs/{key}) that found a result.", "counter", float64(st.ProbeHits)},
+		{"samie_http_probe_misses_total", "Cache probes that found nothing.", "counter", float64(st.ProbeMisses)},
+		{"samie_http_suite_specs_total", "Simulations requested through POST /v1/suite.", "counter", float64(st.SuiteSpecs)},
 		{"samie_http_inflight", "Admitted simulation requests in flight.", "gauge", float64(st.InflightHTTP)},
 		{"samie_http_max_concurrent", "Admission semaphore capacity.", "gauge", float64(st.MaxConcurrent)},
 		{"samie_preloaded_runs", "Results preloaded from disk at startup.", "gauge", float64(st.Preloaded)},

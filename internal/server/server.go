@@ -8,6 +8,8 @@
 // drift from the service. Endpoints:
 //
 //	POST /v1/runs                   one RunSpec -> stats + energy
+//	GET  /v1/runs/{key}             cache probe: 200 if memoized/on-disk, 404 otherwise
+//	POST /v1/suite                  suite spec set (or an explicit shard); ?stream=1 for NDJSON per-run progress
 //	GET  /v1/figures/{1,3,4,56,energy}
 //	GET  /v1/scenarios              registry listing
 //	POST /v1/scenarios/{name}/run   sweep; ?stream=1 for NDJSON progress
@@ -82,9 +84,12 @@ type Server struct {
 	start time.Time
 	mux   *http.ServeMux
 
-	served    atomic.Int64 // requests completed, all endpoints
-	throttled atomic.Int64 // 429s issued
-	inflight  atomic.Int64 // admitted simulation requests in flight
+	served      atomic.Int64 // requests completed, all endpoints
+	throttled   atomic.Int64 // 429s issued
+	inflight    atomic.Int64 // admitted simulation requests in flight
+	probeHits   atomic.Int64 // GET /v1/runs/{key} found
+	probeMisses atomic.Int64 // GET /v1/runs/{key} not cached
+	suiteSpecs  atomic.Int64 // simulations requested via POST /v1/suite
 }
 
 // New validates the config and assembles the service routes.
@@ -116,7 +121,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	// The cache probe never simulates, so it bypasses the admission
+	// semaphore like the other cheap read-only endpoints.
+	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRunProbe)
 	s.mux.Handle("POST /v1/runs", s.heavy(s.handleRun))
+	s.mux.Handle("POST /v1/suite", s.heavy(s.handleSuite))
 	s.mux.Handle("GET /v1/figures/{name}", s.heavy(s.handleFigure))
 	s.mux.Handle("POST /v1/scenarios/{name}/run", s.heavy(s.handleScenarioRun))
 	return s, nil

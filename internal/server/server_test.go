@@ -516,3 +516,204 @@ func TestClientAgainstServer(t *testing.T) {
 		t.Errorf("throttle error lost Retry-After: %+v", ae)
 	}
 }
+
+func TestRunProbeEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	spec := experiments.RunSpec{Benchmark: "gzip", Insts: testInsts, Model: experiments.ModelSAMIE}
+	key := experiments.Key(spec)
+
+	// Probing before anything ran is a miss — and must not simulate.
+	if _, ok, err := c.ProbeRun(ctx, key); err != nil || ok {
+		t.Fatalf("probe before run = ok=%v err=%v, want miss", ok, err)
+	}
+
+	ran, err := c.Run(ctx, client.RunRequest{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Key != key {
+		t.Fatalf("run key %q differs from library key %q", ran.Key, key)
+	}
+	got, ok, err := c.ProbeRun(ctx, key)
+	if err != nil || !ok {
+		t.Fatalf("probe after run = ok=%v err=%v, want hit", ok, err)
+	}
+	if got.Key != key || got.CPU != ran.CPU || got.Benchmark != "gzip" {
+		t.Errorf("probe payload differs from the run response: %+v vs %+v", got, ran)
+	}
+	if s.probeHits.Load() != 1 || s.probeMisses.Load() != 1 {
+		t.Errorf("probe counters hits=%d misses=%d, want 1 and 1",
+			s.probeHits.Load(), s.probeMisses.Load())
+	}
+	// The probe consumed no engine requests beyond the one real run.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Requests != 1 || st.Engine.Executed != 1 {
+		t.Errorf("probes distorted engine stats: %+v", st.Engine)
+	}
+	if st.ProbeHits != 1 || st.ProbeMisses != 1 {
+		t.Errorf("/v1/stats probe counters %d/%d, want 1/1", st.ProbeHits, st.ProbeMisses)
+	}
+}
+
+func TestRunProbeServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	warm, err := experiments.NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := experiments.RunSpec{Benchmark: "gzip", Insts: testInsts, Model: experiments.ModelConventional}
+	want := warm.Run(spec)
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server process over the same directory probes positive
+	// without ever simulating: the artifact on disk is the answer.
+	cold, err := experiments.NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, Config{Batch: cold})
+	got, ok, err := client.New(ts.URL).ProbeRun(context.Background(), experiments.Key(spec))
+	if err != nil || !ok {
+		t.Fatalf("disk probe = ok=%v err=%v, want hit", ok, err)
+	}
+	if got.CPU != want.CPU {
+		t.Errorf("disk-probed CPU result differs")
+	}
+	if st := cold.Stats(); st.Executed != 0 {
+		t.Errorf("probe executed %d simulations, want 0", st.Executed)
+	}
+}
+
+func TestSuiteEndpointShard(t *testing.T) {
+	s, ts, batch := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	shard := client.SuiteRequest{Specs: []client.RunRequest{
+		{Benchmark: "gzip", Model: client.ModelConventional, Insts: testInsts},
+		{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: testInsts},
+	}}
+
+	// Streaming: one run event per spec, then the final result.
+	var runs, results int
+	resp, err := c.Suite(ctx, shard, func(ev client.SuiteEvent) {
+		switch ev.Type {
+		case "run":
+			runs++
+			if ev.Run == nil || ev.Run.Key == "" {
+				t.Errorf("run event missing payload: %+v", ev)
+			}
+		case "result":
+			results++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || results != 1 {
+		t.Errorf("saw %d run and %d result events, want 2 and 1", runs, results)
+	}
+	if resp.Total != 2 || len(resp.Runs) != 2 {
+		t.Errorf("collected response %+v, want 2 runs", resp)
+	}
+	if st := batch.Stats(); st.Executed != 2 {
+		t.Fatalf("shard executed %d simulations, want 2", st.Executed)
+	}
+
+	// Non-streaming replay of the same shard: everything is a cache
+	// hit, the runs come back in spec order.
+	again, err := c.Suite(ctx, shard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Runs) != 2 || again.Runs[0].Model != client.ModelConventional {
+		t.Errorf("non-streaming shard response wrong: %+v", again)
+	}
+	if st := batch.Stats(); st.Executed != 2 {
+		t.Errorf("replayed shard re-executed: %+v", st)
+	}
+	if s.suiteSpecs.Load() != 4 {
+		t.Errorf("suite spec counter %d, want 4", s.suiteSpecs.Load())
+	}
+}
+
+func TestSuiteEndpointEnumerates(t *testing.T) {
+	_, ts, batch := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+
+	// An empty Specs list means "the whole suite for these benchmarks":
+	// the server enumerates the same spec set the library plans with.
+	resp, err := c.Suite(context.Background(),
+		client.SuiteRequest{Benchmarks: []string{"gzip"}, Insts: testInsts}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(experiments.SuiteSpecs([]string{"gzip"}, testInsts))
+	if resp.Total != want || len(resp.Runs) != want {
+		t.Fatalf("suite executed %d/%d specs, want %d", resp.Total, len(resp.Runs), want)
+	}
+	if st := batch.Stats(); st.Executed != int64(want) {
+		t.Errorf("engine executed %d, want %d", st.Executed, want)
+	}
+}
+
+func TestSuiteEndpointValidation(t *testing.T) {
+	_, ts, batch := newTestServer(t, Config{MaxInsts: 100_000})
+	for name, req := range map[string]client.SuiteRequest{
+		"bad_model":      {Specs: []client.RunRequest{{Benchmark: "gzip", Model: "bogus"}}},
+		"bad_benchmark":  {Specs: []client.RunRequest{{Benchmark: "nope", Model: client.ModelSAMIE}}},
+		"insts_over_cap": {Specs: []client.RunRequest{{Benchmark: "gzip", Model: client.ModelSAMIE, Insts: 1 << 40}}},
+		"bad_suite_name": {Benchmarks: []string{"nope"}},
+		"shard_over_cap": {Specs: make([]client.RunRequest, maxSuiteSpecs+1)},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/suite", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if st := batch.Stats(); st.Requests != 0 {
+		t.Errorf("invalid suite requests reached the engine: %+v", st)
+	}
+}
+
+func TestScenarioDefaultBenchmarks(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// The adversarial scenario declares its own default rows; an empty
+	// request must sweep exactly those, not the 26-program suite.
+	infos, err := c.Scenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, info := range infos {
+		if info.Name == "adversarial" {
+			found = true
+			if len(info.Benchmarks) != 2 {
+				t.Errorf("adversarial default rows = %v, want the 2 stress workloads", info.Benchmarks)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("adversarial scenario not registered")
+	}
+	res, err := c.RunScenario(ctx, "adversarial", client.ScenarioRunRequest{Insts: testInsts}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Benchmarks) != 2 ||
+		res.Result.Benchmarks[0] != "pointer-chaser" || res.Result.Benchmarks[1] != "store-burst" {
+		t.Fatalf("default rows = %v, want [pointer-chaser store-burst]", res.Result.Benchmarks)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+
+	"samielsq/internal/isa"
+)
+
+func TestAdversarialPersonalitiesValid(t *testing.T) {
+	names := AdversarialBenchmarks()
+	if len(names) != 2 {
+		t.Fatalf("have %d adversarial personalities, want 2: %v", len(names), names)
+	}
+	for _, n := range names {
+		p := MustPersonality(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("%s: Name field is %q", n, p.Name)
+		}
+		// Determinism holds for the stress workloads like any other.
+		a := Generate(p, 2000)
+		b := Generate(p, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs across generations", n, i)
+			}
+		}
+	}
+	// The paper suite must stay exactly the 26 SPEC programs.
+	for _, n := range Benchmarks() {
+		for _, a := range names {
+			if n == a {
+				t.Fatalf("adversarial personality %s leaked into Benchmarks()", a)
+			}
+		}
+	}
+}
+
+// TestPointerChaserShape asserts the near-zero-MLP structure: almost
+// no line reuse between the in-flight loads (every access lands on a
+// fresh random line), unlike a streaming workload.
+func TestPointerChaserShape(t *testing.T) {
+	chaser := Generate(MustPersonality("pointer-chaser"), 20_000)
+	stream := Generate(MustPersonality("swim"), 20_000)
+	lineReuse := func(insts []isa.Inst) float64 {
+		seen := map[uint64]bool{}
+		mem, reused := 0, 0
+		for _, in := range insts {
+			if in.Cls != isa.ClassLoad && in.Cls != isa.ClassStore {
+				continue
+			}
+			mem++
+			line := in.Addr &^ uint64(LineBytes-1)
+			if seen[line] {
+				reused++
+			}
+			seen[line] = true
+		}
+		if mem == 0 {
+			return 0
+		}
+		return float64(reused) / float64(mem)
+	}
+	cr, sr := lineReuse(chaser), lineReuse(stream)
+	if cr >= sr {
+		t.Errorf("pointer-chaser line reuse %.3f not below streaming swim %.3f", cr, sr)
+	}
+	if cr > 0.35 {
+		t.Errorf("pointer-chaser reuses %.0f%% of lines; want a mostly-fresh random walk", cr*100)
+	}
+}
+
+// TestStoreBurstShape asserts stores dominate loads in the store-burst
+// mix, the inverse of every SPEC personality.
+func TestStoreBurstShape(t *testing.T) {
+	insts := Generate(MustPersonality("store-burst"), 20_000)
+	loads, stores := 0, 0
+	for _, in := range insts {
+		switch in.Cls {
+		case isa.ClassLoad:
+			loads++
+		case isa.ClassStore:
+			stores++
+		}
+	}
+	if stores <= loads {
+		t.Errorf("store-burst has %d stores vs %d loads; want store-dominated", stores, loads)
+	}
+	if frac := float64(stores) / float64(len(insts)); frac < 0.25 {
+		t.Errorf("store fraction %.2f below the burst mix", frac)
+	}
+}

@@ -424,7 +424,9 @@ func Generate(p Params, n int) []isa.Inst {
 }
 
 // Benchmarks returns the 26 SPEC2000 program names in the paper's
-// (alphabetical) order.
+// (alphabetical) order. The adversarial stress workloads are not
+// included (see AdversarialBenchmarks); the paper suite is exactly
+// these 26.
 func Benchmarks() []string {
 	names := make([]string, 0, len(personalities))
 	for n := range personalities {
@@ -434,14 +436,29 @@ func Benchmarks() []string {
 	return names
 }
 
-// Personality returns the calibrated parameters for a SPEC2000
-// benchmark name, or an error for unknown names.
-func Personality(name string) (Params, error) {
-	p, ok := personalities[name]
-	if !ok {
-		return Params{}, fmt.Errorf("trace: unknown benchmark %q", name)
+// AdversarialBenchmarks returns the names of the adversarial stress
+// personalities, sorted. They resolve through Personality like the
+// SPEC programs but never join the default suite.
+func AdversarialBenchmarks() []string {
+	names := make([]string, 0, len(adversarialPersonalities))
+	for n := range adversarialPersonalities {
+		names = append(names, n)
 	}
-	return p, nil
+	sort.Strings(names)
+	return names
+}
+
+// Personality returns the calibrated parameters for a benchmark name —
+// the 26 SPEC2000 programs or an adversarial workload — or an error
+// for unknown names.
+func Personality(name string) (Params, error) {
+	if p, ok := personalities[name]; ok {
+		return p, nil
+	}
+	if p, ok := adversarialPersonalities[name]; ok {
+		return p, nil
+	}
+	return Params{}, fmt.Errorf("trace: unknown benchmark %q", name)
 }
 
 // MustPersonality is Personality, panicking on unknown names.

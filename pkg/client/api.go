@@ -10,6 +10,7 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -20,6 +21,20 @@ import (
 	"samielsq/internal/experiments/engine"
 	"samielsq/internal/lsq"
 )
+
+// API is the samie-serve surface a driver consumes. *Client implements
+// it against one replica; cluster.ShardedClient implements it over a
+// rendezvous-sharded replica set, so tools like `samie-bench -server`
+// accept either transparently.
+type API interface {
+	Run(ctx context.Context, req RunRequest) (RunResponse, error)
+	ProbeRun(ctx context.Context, key string) (RunResponse, bool, error)
+	Figure(ctx context.Context, figure string, benchmarks []string, insts uint64) (FigureResponse, error)
+	Scenarios(ctx context.Context) ([]ScenarioInfo, error)
+	RunScenario(ctx context.Context, name string, req ScenarioRunRequest, onEvent func(ScenarioEvent)) (ScenarioRunResponse, error)
+	Stats(ctx context.Context) (StatsResponse, error)
+	Health(ctx context.Context) error
+}
 
 // Model name strings accepted by RunRequest.Model.
 const (
@@ -135,6 +150,21 @@ type RunResponse struct {
 	LSQEnergyNJ float64 `json:"lsq_energy_nj"`
 }
 
+// Result converts the wire response back into a library RunResult.
+// The normalized Spec is NOT reconstructed (the wire identity carries
+// only benchmark/model/insts/warmup); callers that need the full spec
+// — e.g. Batch.Offer — pair the response with the RunSpec they sent,
+// matching on Key. The memory-hierarchy internals do not serialize, so
+// the result carries a nil Hier, exactly like a disk-served one.
+func (r RunResponse) Result() experiments.RunResult {
+	return experiments.RunResult{
+		CPU:   r.CPU,
+		SAMIE: r.SAMIE,
+		Conv:  r.Conv,
+		Meter: r.Meter,
+	}
+}
+
 // FigureNames lists the valid GET /v1/figures/{name} names.
 func FigureNames() []string { return []string{"1", "3", "4", "56", "energy"} }
 
@@ -154,6 +184,10 @@ type ScenarioInfo struct {
 	Name        string   `json:"name"`
 	Description string   `json:"description"`
 	Variants    []string `json:"variants"`
+
+	// Benchmarks are the sweep's default rows when a run request names
+	// none; empty means the full 26-program suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
 }
 
 // ScenarioRunRequest is the POST /v1/scenarios/{name}/run body.
@@ -190,6 +224,40 @@ type ScenarioEvent struct {
 	Error string `json:"error,omitempty"`
 }
 
+// SuiteRequest is the POST /v1/suite body. With Specs empty the
+// replica enumerates and executes the full suite spec set for the
+// benchmarks; with Specs set it executes exactly those simulations —
+// the shard a cluster coordinator assigned to it (see pkg/cluster).
+type SuiteRequest struct {
+	Benchmarks []string `json:"benchmarks,omitempty"` // default: all 26
+	Insts      uint64   `json:"insts,omitempty"`
+
+	Specs []RunRequest `json:"specs,omitempty"`
+}
+
+// SuiteEvent is one NDJSON line of a streamed suite execution: a "run"
+// event as each distinct simulation completes, then one final
+// "result". An "error" event terminates the stream.
+type SuiteEvent struct {
+	Type string `json:"type"` // "run", "result" or "error"
+
+	// run fields
+	Run   *RunResponse `json:"run,omitempty"`
+	Done  int          `json:"done,omitempty"`
+	Total int          `json:"total,omitempty"`
+
+	// error field
+	Error string `json:"error,omitempty"`
+}
+
+// SuiteResponse is the collected POST /v1/suite result. In streaming
+// mode the runs arrive as individual events and the final "result"
+// event carries only Total; Client.Suite reassembles Runs either way.
+type SuiteResponse struct {
+	Total int           `json:"total"`
+	Runs  []RunResponse `json:"runs,omitempty"`
+}
+
 // StatsResponse is the GET /v1/stats body: engine, disk-cache and
 // process accounting for the shared batch behind the service.
 type StatsResponse struct {
@@ -201,7 +269,10 @@ type StatsResponse struct {
 	MaxConcurrent  int   `json:"max_concurrent"`
 	InflightHTTP   int64 `json:"inflight_http"`
 	RequestsServed int64 `json:"requests_served"`
-	Throttled      int64 `json:"throttled"` // 429s issued
+	Throttled      int64 `json:"throttled"`    // 429s issued
+	ProbeHits      int64 `json:"probe_hits"`   // GET /v1/runs/{key} found
+	ProbeMisses    int64 `json:"probe_misses"` // GET /v1/runs/{key} not cached
+	SuiteSpecs     int64 `json:"suite_specs"`  // simulations requested via POST /v1/suite
 
 	CacheDir      string  `json:"cache_dir,omitempty"`
 	Preloaded     int     `json:"preloaded,omitempty"`

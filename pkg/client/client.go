@@ -124,11 +124,81 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	return nil, ae
 }
 
+// Verify *Client keeps satisfying the shared driver surface.
+var _ API = (*Client)(nil)
+
 // Run executes (or dedups, server-side) one simulation.
 func (c *Client) Run(ctx context.Context, req RunRequest) (RunResponse, error) {
 	var out RunResponse
 	err := c.roundTrip(ctx, http.MethodPost, "/v1/runs", req, &out)
 	return out, err
+}
+
+// ProbeRun asks whether the server already holds the result for a
+// canonical spec key — in memory or on disk — without executing
+// anything. The second return is false (with a nil error) when the
+// key is simply not cached; errors are transport or server failures.
+func (c *Client) ProbeRun(ctx context.Context, key string) (RunResponse, bool, error) {
+	var out RunResponse
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(key), nil, &out)
+	if err != nil {
+		if ae, ok := err.(*APIError); ok && ae.Status == http.StatusNotFound {
+			return RunResponse{}, false, nil
+		}
+		return RunResponse{}, false, err
+	}
+	return out, true, nil
+}
+
+// Suite executes a suite spec set — the full enumeration, or the
+// explicit shard in req.Specs — on the server. With a nil onEvent the
+// call blocks for the collected result; with onEvent set the server
+// streams NDJSON and onEvent observes every run as its simulation
+// completes. Either way the returned response carries every run.
+func (c *Client) Suite(ctx context.Context, req SuiteRequest, onEvent func(SuiteEvent)) (SuiteResponse, error) {
+	if onEvent == nil {
+		var out SuiteResponse
+		err := c.roundTrip(ctx, http.MethodPost, "/v1/suite", req, &out)
+		return out, err
+	}
+	resp, err := c.send(ctx, http.MethodPost, "/v1/suite?stream=1", req)
+	if err != nil {
+		return SuiteResponse{}, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out SuiteResponse
+	sawResult := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev SuiteEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return SuiteResponse{}, fmt.Errorf("client: bad stream line %q: %w", line, err)
+		}
+		onEvent(ev)
+		switch ev.Type {
+		case "error":
+			return SuiteResponse{}, fmt.Errorf("server: %s", ev.Error)
+		case "run":
+			if ev.Run != nil {
+				out.Runs = append(out.Runs, *ev.Run)
+			}
+		case "result":
+			out.Total = ev.Total
+			sawResult = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return SuiteResponse{}, fmt.Errorf("client: reading stream: %w", err)
+	}
+	if !sawResult {
+		return SuiteResponse{}, fmt.Errorf("client: stream ended without a result event")
+	}
+	return out, nil
 }
 
 // Figure regenerates one paper figure ("1", "3", "4", "56" or

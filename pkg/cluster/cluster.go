@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/pkg/client"
+)
+
+// ShardedClient drives a set of samie-serve replicas as if they were
+// one server: it satisfies the same client.API surface as a
+// single-replica pkg/client.Client, so `samie-bench -server` accepts a
+// comma-separated replica list unchanged. Each request routes to the
+// rendezvous owner of its canonical key — repeated requests for the
+// same work always land on the same warm replica — with per-replica
+// health quarantine, 429/Retry-After-aware retry, and failover down
+// the key's weight ranking. Safe for concurrent use.
+type ShardedClient struct {
+	ring         *Rendezvous
+	clients      map[string]*client.Client
+	quarantine   time.Duration
+	maxRetryWait time.Duration
+	retries429   int
+
+	mu        sync.Mutex
+	downUntil map[string]time.Time
+}
+
+// Option customizes a ShardedClient.
+type Option func(*ShardedClient)
+
+// WithHTTPClient substitutes the *http.Client used for every replica.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *ShardedClient) {
+		for rep := range c.clients {
+			c.clients[rep] = client.New(rep, client.WithHTTPClient(hc))
+		}
+	}
+}
+
+// WithQuarantine sets how long a failed replica is skipped before the
+// fabric probes it again; default 3s.
+func WithQuarantine(d time.Duration) Option {
+	return func(c *ShardedClient) { c.quarantine = d }
+}
+
+// WithMaxRetryWait caps how long a 429's Retry-After hint is honored
+// before the request fails over anyway; default 15s.
+func WithMaxRetryWait(d time.Duration) Option {
+	return func(c *ShardedClient) { c.maxRetryWait = d }
+}
+
+// New builds the fabric over the replica base URLs (e.g.
+// "http://host-a:8344"). At least one replica is required; duplicates
+// are collapsed.
+func New(replicas []string, opts ...Option) (*ShardedClient, error) {
+	urls := make([]string, 0, len(replicas))
+	for _, r := range replicas {
+		if r = strings.TrimRight(strings.TrimSpace(r), "/"); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	ring := NewRendezvous(urls)
+	if len(ring.Replicas()) == 0 {
+		return nil, fmt.Errorf("cluster: at least one replica URL is required")
+	}
+	c := &ShardedClient{
+		ring:         ring,
+		clients:      map[string]*client.Client{},
+		quarantine:   3 * time.Second,
+		maxRetryWait: 15 * time.Second,
+		retries429:   2,
+		downUntil:    map[string]time.Time{},
+	}
+	for _, rep := range ring.Replicas() {
+		c.clients[rep] = client.New(rep)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Verify the fabric keeps satisfying the shared driver surface.
+var _ client.API = (*ShardedClient)(nil)
+
+// Replicas returns the configured replica URLs, sorted.
+func (c *ShardedClient) Replicas() []string { return c.ring.Replicas() }
+
+// markDown quarantines a replica after a transport or server failure.
+func (c *ShardedClient) markDown(rep string) {
+	c.mu.Lock()
+	c.downUntil[rep] = time.Now().Add(c.quarantine)
+	c.mu.Unlock()
+}
+
+// markUp clears a replica's quarantine after a successful exchange.
+func (c *ShardedClient) markUp(rep string) {
+	c.mu.Lock()
+	delete(c.downUntil, rep)
+	c.mu.Unlock()
+}
+
+// replicaState reports whether a replica is currently usable and
+// whether it should be health-probed before carrying a real request
+// (its quarantine just expired).
+func (c *ShardedClient) replicaState(rep string) (usable, probeFirst bool) {
+	c.mu.Lock()
+	until, down := c.downUntil[rep]
+	c.mu.Unlock()
+	if !down {
+		return true, false
+	}
+	if time.Now().After(until) {
+		return true, true
+	}
+	return false, false
+}
+
+// candidates returns the failover order for key restricted to usable
+// replicas; when everything is quarantined it returns the full ranking
+// (trying a possibly-dead replica beats failing without trying).
+func (c *ShardedClient) candidates(key string) []string {
+	ranked := c.ring.Ranked(key)
+	usable := ranked[:0:0]
+	for _, rep := range ranked {
+		if ok, _ := c.replicaState(rep); ok {
+			usable = append(usable, rep)
+		}
+	}
+	if len(usable) == 0 {
+		return ranked
+	}
+	return usable
+}
+
+// reprobe applies the quarantine-expiry policy for one replica: when
+// its quarantine just lapsed, a /healthz probe decides readmission
+// (markUp) or renewed quarantine (markDown, returning the probe
+// error). Both routing walks — do and healthyCandidate — share this,
+// so the policy lives in one place. Callers decide separately whether
+// a still-quarantined replica may be tried at all.
+func (c *ShardedClient) reprobe(ctx context.Context, rep string) error {
+	if _, probe := c.replicaState(rep); !probe {
+		return nil
+	}
+	if err := c.clients[rep].Health(ctx); err != nil {
+		c.markDown(rep)
+		return err
+	}
+	c.markUp(rep)
+	return nil
+}
+
+// healthyCandidate returns the highest-ranked replica for key that is
+// usable right now, health-probing any whose quarantine just expired
+// so a still-dead replica is not handed fresh work on faith. When
+// every replica is down it returns the key's owner — trying beats
+// failing without trying.
+func (c *ShardedClient) healthyCandidate(ctx context.Context, key string) string {
+	ranked := c.ring.Ranked(key)
+	for _, rep := range ranked {
+		if usable, _ := c.replicaState(rep); !usable {
+			continue
+		}
+		if c.reprobe(ctx, rep) != nil {
+			continue
+		}
+		return rep
+	}
+	return ranked[0]
+}
+
+// permanent reports a response that no other replica would answer
+// differently: the request itself is wrong (4xx short of the 429
+// saturation signal).
+func permanent(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Status/100 == 4 && ae.Status != http.StatusTooManyRequests
+}
+
+// backoff sleeps for a 429's Retry-After hint, bounded by
+// maxRetryWait, respecting ctx.
+func (c *ShardedClient) backoff(ctx context.Context, err error) error {
+	wait := time.Second
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		wait = ae.RetryAfter
+	}
+	if wait > c.maxRetryWait {
+		wait = c.maxRetryWait
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do routes one request: try the key's replicas in weight order,
+// health-probing a just-unquarantined replica first, honoring
+// Retry-After on 429 (bounded retries per replica), quarantining and
+// failing over on transport or server errors.
+func (c *ShardedClient) do(ctx context.Context, key string, f func(cl *client.Client) error) error {
+	var lastErr error
+	for _, rep := range c.candidates(key) {
+		cl := c.clients[rep]
+		if err := c.reprobe(ctx, rep); err != nil {
+			lastErr = err
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			err := f(cl)
+			if err == nil {
+				c.markUp(rep)
+				return nil
+			}
+			if ctx.Err() != nil {
+				return err
+			}
+			if permanent(err) {
+				return err
+			}
+			if client.IsThrottled(err) && attempt < c.retries429 {
+				// Saturated, not dead: the replica asked us to come
+				// back. Honor the hint before failing over.
+				if werr := c.backoff(ctx, err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			// Transport failure, server error, or an exhausted 429
+			// budget: quarantine and fall through to the next-ranked
+			// replica.
+			if !client.IsThrottled(err) {
+				c.markDown(rep)
+			}
+			lastErr = err
+			break
+		}
+	}
+	return fmt.Errorf("cluster: every replica failed: %w", lastErr)
+}
+
+// Run executes one simulation on the replica owning the spec's
+// canonical key, so identical requests from any coordinator coalesce
+// on the same warm replica.
+func (c *ShardedClient) Run(ctx context.Context, req client.RunRequest) (client.RunResponse, error) {
+	spec, err := req.Spec()
+	if err != nil {
+		return client.RunResponse{}, err
+	}
+	key := experiments.Key(spec)
+	var out client.RunResponse
+	err = c.do(ctx, key, func(cl *client.Client) error {
+		var e error
+		out, e = cl.Run(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// ProbeRun asks the cluster whether any replica already holds the
+// result for a canonical key, checking the owner first and falling
+// back down the ranking (a rebalance may have left the artifact on a
+// previous owner).
+func (c *ShardedClient) ProbeRun(ctx context.Context, key string) (client.RunResponse, bool, error) {
+	var lastErr error
+	for _, rep := range c.candidates(key) {
+		out, ok, err := c.clients[rep].ProbeRun(ctx, key)
+		if err != nil {
+			if ctx.Err() != nil {
+				return client.RunResponse{}, false, err
+			}
+			c.markDown(rep)
+			lastErr = err
+			continue
+		}
+		c.markUp(rep)
+		if ok {
+			return out, true, nil
+		}
+	}
+	if lastErr != nil {
+		return client.RunResponse{}, false, fmt.Errorf("cluster: probe failed on every reachable replica: %w", lastErr)
+	}
+	return client.RunResponse{}, false, nil
+}
+
+// Figure regenerates one paper figure on a single replica chosen by
+// rendezvous over the figure request's identity, so repeated
+// regenerations reuse the same warm run cache.
+func (c *ShardedClient) Figure(ctx context.Context, figure string, benchmarks []string, insts uint64) (client.FigureResponse, error) {
+	key := fmt.Sprintf("figure|%s|%s|%d", figure, strings.Join(benchmarks, ","), insts)
+	var out client.FigureResponse
+	err := c.do(ctx, key, func(cl *client.Client) error {
+		var e error
+		out, e = cl.Figure(ctx, figure, benchmarks, insts)
+		return e
+	})
+	return out, err
+}
+
+// Scenarios lists the registered sweeps from any healthy replica (the
+// registry is identical across a homogeneous deployment).
+func (c *ShardedClient) Scenarios(ctx context.Context) ([]client.ScenarioInfo, error) {
+	var out []client.ScenarioInfo
+	err := c.do(ctx, "scenarios", func(cl *client.Client) error {
+		var e error
+		out, e = cl.Scenarios(ctx)
+		return e
+	})
+	return out, err
+}
+
+// RunScenario evaluates a registered sweep on a single replica chosen
+// by rendezvous over the sweep's identity. For a sweep sharded across
+// every replica, use Scenario instead.
+//
+// Failover replays the whole stream on the next replica, so the
+// observer is shielded from the retry: each (benchmark, variant) cell
+// is forwarded at most once with a monotonically rewritten Done
+// counter, and mid-failover "error" events are swallowed (a terminal
+// failure still surfaces as the returned error).
+func (c *ShardedClient) RunScenario(ctx context.Context, name string, req client.ScenarioRunRequest, onEvent func(client.ScenarioEvent)) (client.ScenarioRunResponse, error) {
+	key := fmt.Sprintf("scenario|%s|%s|%d", name, strings.Join(req.Benchmarks, ","), req.Insts)
+	wrapped := onEvent
+	if onEvent != nil {
+		seen := map[string]bool{}
+		forwarded := 0
+		wrapped = func(ev client.ScenarioEvent) {
+			switch ev.Type {
+			case "cell":
+				cellKey := ev.Benchmark + "\x00" + ev.Variant
+				if seen[cellKey] {
+					return
+				}
+				seen[cellKey] = true
+				forwarded++
+				ev.Done = forwarded
+				onEvent(ev)
+			case "result":
+				onEvent(ev)
+			}
+		}
+	}
+	var out client.ScenarioRunResponse
+	err := c.do(ctx, key, func(cl *client.Client) error {
+		var e error
+		out, e = cl.RunScenario(ctx, name, req, wrapped)
+		return e
+	})
+	return out, err
+}
+
+// Stats aggregates /v1/stats across every reachable replica: counters
+// and capacity gauges sum, uptime reports the longest-lived replica.
+// An error is returned only when no replica answers.
+func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error) {
+	per, err := c.PerReplicaStats(ctx)
+	if err != nil {
+		return client.StatsResponse{}, err
+	}
+	var agg client.StatsResponse
+	for _, st := range per {
+		agg.Engine.Requests += st.Engine.Requests
+		agg.Engine.Executed += st.Engine.Executed
+		agg.Engine.Hits += st.Engine.Hits
+		agg.Engine.Inflight += st.Engine.Inflight
+		agg.Engine.Canceled += st.Engine.Canceled
+		agg.Engine.Evictions += st.Engine.Evictions
+		agg.Disk.Hits += st.Disk.Hits
+		agg.Disk.Misses += st.Disk.Misses
+		agg.Disk.Writes += st.Disk.Writes
+		agg.DistinctRuns += st.DistinctRuns
+		agg.Workers += st.Workers
+		agg.MaxConcurrent += st.MaxConcurrent
+		agg.InflightHTTP += st.InflightHTTP
+		agg.RequestsServed += st.RequestsServed
+		agg.Throttled += st.Throttled
+		agg.ProbeHits += st.ProbeHits
+		agg.ProbeMisses += st.ProbeMisses
+		agg.SuiteSpecs += st.SuiteSpecs
+		agg.Preloaded += st.Preloaded
+		agg.Goroutines += st.Goroutines
+		agg.HeapBytes += st.HeapBytes
+		if st.UptimeSeconds > agg.UptimeSeconds {
+			agg.UptimeSeconds = st.UptimeSeconds
+		}
+		if agg.CacheDir == "" {
+			agg.CacheDir = st.CacheDir
+		}
+	}
+	return agg, nil
+}
+
+// PerReplicaStats fetches /v1/stats from every replica, keyed by
+// replica URL; unreachable replicas are omitted. An error is returned
+// only when no replica answers.
+func (c *ShardedClient) PerReplicaStats(ctx context.Context) (map[string]client.StatsResponse, error) {
+	out := map[string]client.StatsResponse{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var lastErr error
+	for _, rep := range c.Replicas() {
+		wg.Add(1)
+		go func(rep string) {
+			defer wg.Done()
+			st, err := c.clients[rep].Stats(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				lastErr = err
+				return
+			}
+			out[rep] = st
+		}(rep)
+	}
+	wg.Wait()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no replica answered /v1/stats: %w", lastErr)
+	}
+	return out, nil
+}
+
+// Health probes every replica's /healthz concurrently; nil means at
+// least one replica is up (the fabric can serve), with quarantine
+// state refreshed for all of them.
+func (c *ShardedClient) Health(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Replicas()))
+	reps := c.Replicas()
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(i int, rep string) {
+			defer wg.Done()
+			if err := c.clients[rep].Health(ctx); err != nil {
+				c.markDown(rep)
+				errs[i] = err
+			} else {
+				c.markUp(rep)
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	var lastErr error
+	for i, err := range errs {
+		if err == nil {
+			return nil
+		}
+		lastErr = fmt.Errorf("%s: %w", reps[i], err)
+	}
+	return fmt.Errorf("cluster: no healthy replica: %w", lastErr)
+}

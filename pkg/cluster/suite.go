@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/internal/experiments/engine"
+	"samielsq/pkg/client"
+)
+
+// Progress reports one completed remote simulation to a RunSpecs
+// observer.
+type Progress struct {
+	Replica     string // replica that delivered the run
+	Key         string // canonical spec key
+	Done, Total int
+}
+
+// shardChunk caps how many specs one POST /v1/suite request carries.
+// Chunking keeps every request proportionate to the server's single
+// -request-timeout (a whole multi-hundred-run shard in one request
+// would 504 mid-sweep at large budgets), bounds how much a severed
+// stream loses, and stays far under the server's per-request spec cap.
+// A var so tests can exercise multi-chunk shards cheaply.
+var shardChunk = 64
+
+// RunSpecs executes an explicit spec set across the cluster: each spec
+// is assigned to the rendezvous owner of its canonical key, every
+// replica receives its shard as a sequence of bounded POST /v1/suite
+// requests, and results stream back as the simulations complete. A
+// replica that fails mid-shard is quarantined and its remaining specs
+// re-shard onto the survivors — completed runs are never re-requested
+// — so a sweep survives losing replicas as long as one stays up. A
+// merely saturated replica (429) is not quarantined: its Retry-After
+// hint is honored before the work is re-planned. onProgress, when
+// non-nil, observes every completed run from a single goroutine.
+// Results are keyed by canonical spec key.
+func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpec, onProgress func(Progress)) (map[string]client.RunResponse, error) {
+	pending := make(map[string]experiments.RunSpec, len(specs))
+	for _, s := range specs {
+		pending[experiments.Key(s)] = s
+	}
+	total := len(pending)
+	results := make(map[string]client.RunResponse, total)
+	var mu sync.Mutex // guards pending + results + onProgress
+
+	// Stall accounting: rounds that fail for cause (dead replicas) get
+	// a short budget; rounds shed with 429 + Retry-After are the
+	// server keeping its promise, so they get a longer one and wait
+	// out the hint instead of a fixed pause.
+	const maxStalledRounds, maxThrottledRounds = 3, 20
+	stalled, throttledRounds := 0, 0
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Plan this round's shards: every pending spec goes to its
+		// highest-ranked usable replica. Shards are disjoint, so in the
+		// failure-free case each distinct spec executes exactly once
+		// cluster-wide.
+		shards := map[string][]client.RunRequest{}
+		mu.Lock()
+		keys := make([]string, 0, len(pending))
+		for key := range pending {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys) // deterministic shard bodies
+		for _, key := range keys {
+			rep := c.healthyCandidate(ctx, key)
+			shards[rep] = append(shards[rep], client.RequestFor(pending[key]))
+		}
+		before := len(pending)
+		mu.Unlock()
+
+		var wg sync.WaitGroup
+		errsMu := sync.Mutex{}
+		var lastErr, fatalErr, throttleErr error
+		for rep, shard := range shards {
+			wg.Add(1)
+			go func(rep string, shard []client.RunRequest) {
+				defer wg.Done()
+				onEvent := func(ev client.SuiteEvent) {
+					if ev.Type != "run" || ev.Run == nil {
+						return
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					key := ev.Run.Key
+					if _, dup := results[key]; dup {
+						return
+					}
+					if _, want := pending[key]; !want {
+						return
+					}
+					results[key] = *ev.Run
+					delete(pending, key)
+					if onProgress != nil {
+						onProgress(Progress{Replica: rep, Key: key, Done: len(results), Total: total})
+					}
+				}
+				for start := 0; start < len(shard); start += shardChunk {
+					end := min(start+shardChunk, len(shard))
+					_, err := c.clients[rep].Suite(ctx, client.SuiteRequest{Specs: shard[start:end]}, onEvent)
+					if err == nil {
+						continue
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					errsMu.Lock()
+					switch {
+					case permanent(err):
+						// The chunk itself was rejected (4xx): no replica
+						// will answer differently, so fail the sweep fast
+						// instead of quarantining healthy replicas and
+						// re-sending a doomed request.
+						if fatalErr == nil {
+							fatalErr = fmt.Errorf("%s rejected the shard: %w", rep, err)
+						}
+					case client.IsThrottled(err):
+						// Saturated, not dead: keep the replica in the
+						// ring and let the round honor its hint.
+						throttleErr = err
+					default:
+						// The chunk died mid-stream: quarantine the
+						// replica and let the next round re-shard
+						// whatever it had not delivered.
+						c.markDown(rep)
+						lastErr = fmt.Errorf("%s: %w", rep, err)
+					}
+					errsMu.Unlock()
+					return
+				}
+			}(rep, shard)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if fatalErr != nil {
+			return nil, fatalErr
+		}
+
+		mu.Lock()
+		remaining := len(pending)
+		mu.Unlock()
+		switch {
+		case remaining < before:
+			stalled, throttledRounds = 0, 0
+		case throttleErr != nil:
+			throttledRounds++
+			if throttledRounds >= maxThrottledRounds {
+				return nil, fmt.Errorf("cluster: sweep throttled for %d rounds with %d of %d specs undone: %w",
+					throttledRounds, remaining, total, throttleErr)
+			}
+			// Wait out the server's own backoff hint (capped), exactly
+			// like the single-request path.
+			if err := c.backoff(ctx, throttleErr); err != nil {
+				return nil, err
+			}
+		default:
+			stalled++
+			if stalled >= maxStalledRounds {
+				return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone: %w", remaining, total, lastErr)
+			}
+			// Give quarantines a moment to clear before re-sharding the
+			// same work.
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return results, nil
+}
+
+// Suite regenerates the paper's full evaluation by fanning the suite
+// spec set across the cluster and reassembling it locally: every
+// remote result is offered into a fresh local batch, and the standard
+// Suite harness then renders entirely from cache hits — byte-identical
+// to the single-node RunSuite output. The run-accounting line reports
+// the cluster-wide work: the distinct simulations the sweep needed
+// (executed remotely, exactly once in the failure-free case) against
+// the same request pattern the single-node harness issues.
+func (c *ShardedClient) Suite(ctx context.Context, benchmarks []string, insts uint64, onProgress func(Progress)) (experiments.SuiteResult, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = experiments.Benchmarks()
+	}
+	specs := experiments.SuiteSpecs(benchmarks, insts)
+	local, err := c.assemble(ctx, specs, onProgress)
+	if err != nil {
+		return experiments.SuiteResult{}, err
+	}
+	res := local.Suite(benchmarks, insts)
+	if err := planCovered(local); err != nil {
+		return experiments.SuiteResult{}, err
+	}
+	st := res.Runs
+	res.Runs = engine.Stats{
+		Requests: st.Requests,
+		Executed: int64(len(specs)),
+		Hits:     st.Requests - int64(len(specs)),
+	}
+	return res, nil
+}
+
+// planCovered asserts the shard plan covered every simulation the
+// local rendering pass requested. The local batch exists to serve the
+// harnesses from offered remote results; if it executed anything
+// itself, the spec enumeration drifted from a harness and the cluster
+// was silently bypassed for those runs — a programming bug that must
+// surface loudly (the rendered output would still be correct, which is
+// exactly why nothing else would ever notice).
+func planCovered(local *experiments.Batch) error {
+	if ex := local.Stats().Executed; ex > 0 {
+		return fmt.Errorf("cluster: %d simulations ran locally during reassembly: the shard plan (SuiteSpecs/ScenarioSpecs) no longer covers the harnesses", ex)
+	}
+	return nil
+}
+
+// Scenario evaluates a registered sweep across the cluster, sharding
+// its cells by canonical key and reassembling the result locally,
+// byte-identical to the library harness.
+func (c *ShardedClient) Scenario(ctx context.Context, name string, benchmarks []string, insts uint64, onProgress func(Progress)) (experiments.ScenarioResult, error) {
+	specs, rows, err := experiments.ScenarioSpecs(name, benchmarks, insts)
+	if err != nil {
+		return experiments.ScenarioResult{}, err
+	}
+	local, err := c.assemble(ctx, specs, onProgress)
+	if err != nil {
+		return experiments.ScenarioResult{}, err
+	}
+	res, err := local.Scenario(name, rows, insts)
+	if err != nil {
+		return experiments.ScenarioResult{}, err
+	}
+	if err := planCovered(local); err != nil {
+		return experiments.ScenarioResult{}, err
+	}
+	return res, nil
+}
+
+// assemble fans the specs out and returns a local batch warmed with
+// every collected result, ready to render any harness over them as
+// pure cache hits.
+func (c *ShardedClient) assemble(ctx context.Context, specs []experiments.RunSpec, onProgress func(Progress)) (*experiments.Batch, error) {
+	byKey := make(map[string]experiments.RunSpec, len(specs))
+	for _, s := range specs {
+		byKey[experiments.Key(s)] = s
+	}
+	results, err := c.RunSpecs(ctx, specs, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	local := experiments.NewBatch(0)
+	for key, rr := range results {
+		local.Offer(byKey[key], rr.Result())
+	}
+	return local, nil
+}

@@ -130,6 +130,25 @@ func RunSuite(benchmarks []string, insts uint64) SuiteResult {
 	return experiments.RunSuite(benchmarks, insts)
 }
 
+// SuiteSpecs enumerates the distinct simulations the full suite needs,
+// deduplicated by canonical key — the shard-planning input for
+// cluster-wide regeneration (see pkg/cluster).
+func SuiteSpecs(benchmarks []string, insts uint64) []RunSpec {
+	return experiments.SuiteSpecs(benchmarks, insts)
+}
+
+// ScenarioSpecs enumerates the distinct simulations a registered
+// scenario sweep needs, plus the resolved benchmark rows.
+func ScenarioSpecs(name string, benchmarks []string, insts uint64) ([]RunSpec, []string, error) {
+	return experiments.ScenarioSpecs(name, benchmarks, insts)
+}
+
+// RunKey returns the canonical cache key for a spec: two specs share a
+// key exactly when they describe the same simulation. It addresses
+// runs everywhere — the engine memo, the disk cache, GET
+// /v1/runs/{key}, and rendezvous shard placement.
+func RunKey(spec RunSpec) string { return experiments.Key(spec) }
+
 // ScenarioNames lists the registered scenario sweeps.
 func ScenarioNames() []string { return experiments.ScenarioNames() }
 
