@@ -62,6 +62,7 @@ func main() {
 	profileInsts := flag.Uint64("profile-insts", 50_000, "measured instructions per profile case")
 	profileReps := flag.Int("profile-reps", 3, "repetitions per profile case (best wins)")
 	profileLabel := flag.String("profile-label", "local", "label for the recorded profile session")
+	profileLegacy := flag.Bool("profile-legacy-walk", false, "profile on the pre-wakeup LegacyIssueWalk issue engine (before/after trajectory entries; skips the figure1 sweep)")
 	benchOut := flag.String("bench-out", "", "append the profile session to this BENCH_*.json file")
 	baseline := flag.String("baseline", "", "compare the profile session against this BENCH_*.json (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional throughput regression vs -baseline")
@@ -72,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *profile {
-		entry := runProfile(*profileInsts, *profileReps, *profileLabel)
+		entry := runProfile(*profileInsts, *profileReps, *profileLabel, *profileLegacy)
 		if *benchOut != "" {
 			if err := writeBenchOut(*benchOut, entry); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -97,14 +98,11 @@ func main() {
 		return
 	}
 	// Resolve the disk cache directory once; -prune and the local
-	// batch share it.
-	dir := *cachedir
-	if dir == "auto" {
-		var err error
-		if dir, err = experiments.DefaultCacheDir(); err != nil {
-			fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
-			dir = ""
-		}
+	// batch share the -cachedir semantics.
+	dir, dirErr := experiments.ResolveCacheDir(*cachedir)
+	if dirErr != nil {
+		fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", dirErr)
+		dir = ""
 	}
 	if *prune {
 		if dir == "" {
@@ -187,16 +185,9 @@ func main() {
 	// renders, spilling results to disk unless -cachedir "" asked not
 	// to (a cache failure degrades to the uncached batch).
 	var batch *experiments.Batch
-	if dir != "" {
-		var err error
-		if batch, err = experiments.NewBatchWithCache(*workers, dir); err != nil {
-			fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
-			batch, dir = nil, ""
-		}
-	}
-	if batch == nil {
-		batch = experiments.NewBatch(*workers)
-	}
+	batch, dir = experiments.OpenBatch(*workers, dir, func(err error) {
+		fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
+	})
 
 	if want("1") {
 		fmt.Println(batch.Figure1(benchmarks, *insts))

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"samielsq/internal/cpu"
 	"samielsq/internal/experiments"
 )
 
@@ -65,6 +66,25 @@ var profileSpecs = []profileSpec{
 
 var profileBenchmarks = []string{"gzip", "swim"}
 
+// adversarialProfile extends the matrix with the stress personalities
+// the event-driven wakeup scheduler targets: the serial random load
+// chain (worst case for the legacy O(in-flight) issue walk) and the
+// store-dominated burst mix. Profiled under the two models whose
+// per-cycle cost the scheduler changes most.
+var (
+	adversarialBenchmarks = []string{"pointer-chaser", "store-burst"}
+	adversarialModelNames = []string{"samie", "conventional"}
+)
+
+// withLegacyWalk pins a spec to the pre-wakeup issue engine, for
+// before/after trajectory entries (-profile-legacy-walk).
+func withLegacyWalk(spec experiments.RunSpec) experiments.RunSpec {
+	cfg := cpu.PaperConfig()
+	cfg.LegacyIssueWalk = true
+	spec.CPU = &cfg
+	return spec
+}
+
 // runProfileCase measures one spec: reps repetitions, best throughput
 // wins (the first repetition also pays trace materialization; later
 // ones measure the simulator itself, which is what the trajectory
@@ -106,29 +126,49 @@ func runFigure1Sweep(reps int) float64 {
 	return best
 }
 
-// runProfile executes the matrix and returns the session entry.
-func runProfile(insts uint64, reps int, label string) benchEntry {
+// runProfile executes the matrix and returns the session entry. With
+// legacyWalk the per-model cases run on the pre-wakeup issue engine
+// (for before/after trajectory entries); the figure1 aggregate sweep
+// always exercises the default engine and is skipped in that mode.
+func runProfile(insts uint64, reps int, label string, legacyWalk bool) benchEntry {
 	e := benchEntry{
 		Label: label,
 		Date:  time.Now().UTC().Format("2006-01-02"),
 		Go:    runtime.Version(),
 		Insts: insts,
 	}
+	measure := func(name string, spec experiments.RunSpec) {
+		if legacyWalk {
+			spec = withLegacyWalk(spec)
+		}
+		ips := runProfileCase(spec, reps)
+		e.Cases = append(e.Cases, benchCase{Name: name, InstsPerSec: ips})
+		fmt.Printf("%-26s %12.0f insts/sec\n", name, ips)
+	}
 	for _, ps := range profileSpecs {
 		for _, b := range profileBenchmarks {
-			name := ps.name + "/" + b
-			ips := runProfileCase(ps.spec(b, insts), reps)
-			e.Cases = append(e.Cases, benchCase{Name: name, InstsPerSec: ips})
-			fmt.Printf("%-22s %12.0f insts/sec\n", name, ips)
+			measure(ps.name+"/"+b, ps.spec(b, insts))
 		}
 	}
-	sweepReps := 2
-	if reps < sweepReps {
-		sweepReps = reps
+	for _, ps := range profileSpecs {
+		for _, mname := range adversarialModelNames {
+			if ps.name != mname {
+				continue
+			}
+			for _, b := range adversarialBenchmarks {
+				measure(ps.name+"/"+b, ps.spec(b, insts))
+			}
+		}
 	}
-	ips := runFigure1Sweep(sweepReps)
-	e.Cases = append(e.Cases, benchCase{Name: "figure1-sweep/fastsuite", InstsPerSec: ips})
-	fmt.Printf("%-22s %12.0f insts/sec\n", "figure1-sweep/fastsuite", ips)
+	if !legacyWalk {
+		sweepReps := 2
+		if reps < sweepReps {
+			sweepReps = reps
+		}
+		ips := runFigure1Sweep(sweepReps)
+		e.Cases = append(e.Cases, benchCase{Name: "figure1-sweep/fastsuite", InstsPerSec: ips})
+		fmt.Printf("%-26s %12.0f insts/sec\n", "figure1-sweep/fastsuite", ips)
+	}
 	sort.Slice(e.Cases, func(i, j int) bool { return e.Cases[i].Name < e.Cases[j].Name })
 	return e
 }

@@ -65,25 +65,9 @@ func main() {
 	// Assemble the shared batch: one memoizing scheduler for every
 	// client of this process, spilling to disk unless -cachedir ""
 	// asked not to (a cache failure degrades to the uncached batch).
-	dir := *cachedir
-	if dir == "auto" {
-		var err error
-		if dir, err = experiments.DefaultCacheDir(); err != nil {
-			log.Warn("disk cache disabled", "err", err)
-			dir = ""
-		}
-	}
-	var batch *experiments.Batch
-	if dir != "" {
-		var err error
-		if batch, err = experiments.NewBatchWithCache(*workers, dir); err != nil {
-			log.Warn("disk cache disabled", "err", err)
-			batch, dir = nil, ""
-		}
-	}
-	if batch == nil {
-		batch = experiments.NewBatch(*workers)
-	}
+	batch, dir := experiments.OpenBatch(*workers, *cachedir, func(err error) {
+		log.Warn("disk cache disabled", "err", err)
+	})
 	if *cacheLimit > 0 {
 		batch.SetCacheLimit(*cacheLimit)
 	}

@@ -26,6 +26,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warm-up instructions (default insts/2)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	showKey := flag.Bool("key", false, "print the spec's canonical engine cache key")
+	cachedir := flag.String("cachedir", "auto", `on-disk run cache directory ("auto" = <user cache dir>/samielsq, "" disables)`)
 
 	banks := flag.Int("banks", 64, "DistribLSQ banks (samie) / ARB banks")
 	entries := flag.Int("entries", 2, "DistribLSQ entries per bank")
@@ -69,8 +70,17 @@ func main() {
 	}
 
 	// A single run still goes through the engine so the spec takes the
-	// same normalization path as the batch harnesses.
-	r := experiments.NewBatch(1).Run(spec)
+	// same normalization path as the batch harnesses — and through the
+	// shared on-disk artifact cache (same -cachedir semantics as
+	// samie-bench), so repeated CLI invocations reuse finished
+	// simulations and contribute theirs back.
+	batch, _ := experiments.OpenBatch(1, *cachedir, func(err error) {
+		fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
+	})
+	// Close flushes the debounced index so sibling processes adopting
+	// the cache directory can enumerate this run's artifact.
+	defer batch.Close()
+	r := batch.Run(spec)
 	c := r.CPU
 	fmt.Printf("benchmark          %s (%s model)\n", *bench, *model)
 	fmt.Printf("instructions       %d (cycles %d)\n", c.Committed, c.Cycles)

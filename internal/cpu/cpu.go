@@ -58,6 +58,15 @@ type Config struct {
 	// sit unplaced in the LSQ before the §3.3 deadlock-avoidance flush
 	// fires.
 	DeadlockPatience int
+
+	// LegacyIssueWalk selects the pre-wakeup issue engine: the
+	// per-cycle compacting walk over the age-ordered active list,
+	// O(in-flight) per cycle. The default (false) is the event-driven
+	// wakeup scheduler (see sched.go), which produces bit-identical
+	// results while touching only O(issue width + newly woken)
+	// instructions per cycle; the walk is kept for differential
+	// testing (TestSchedulerDifferential).
+	LegacyIssueWalk bool
 }
 
 // PaperConfig returns the Table 2 configuration.
@@ -160,6 +169,18 @@ type dynInst struct {
 	buffered    bool
 	performed   bool
 	addrUnknown bool // store dispatched, address not yet computed
+
+	// Wakeup-scheduler links (nil/0 under LegacyIssueWalk). waiterHead
+	// anchors the intrusive list of consumers parked on this
+	// instruction as a producer (chained through their waitNext);
+	// wheelNext/wakeCycle place this instruction in a timing-wheel
+	// bucket. A recycled instruction never carries live links: its
+	// waiter list drains at the stDone transition, which precedes any
+	// commit.
+	waiterHead *dynInst
+	waitNext   *dynInst
+	wheelNext  *dynInst
+	wakeCycle  uint64
 }
 
 func (d *dynInst) isMem() bool { return d.mem }
@@ -358,8 +379,13 @@ type CPU struct {
 	// memory system). Instructions leave it when they reach stDone, so
 	// the writeback/issue walk skips completed instructions piling up
 	// behind a blocked head. Compaction preserves age order, keeping
-	// issue priority identical to a full ROB walk.
+	// issue priority identical to a full ROB walk. Only maintained
+	// under LegacyIssueWalk.
 	active []*dynInst
+
+	// ev is the event-driven wakeup scheduler (sched.go); nil under
+	// LegacyIssueWalk.
+	ev *eventSched
 
 	res Result
 }
@@ -404,6 +430,9 @@ func New(cfg Config, strm isa.Stream, model lsq.Model, hier *mem.Hierarchy, dtlb
 		replayQ:   newInstRing(4),
 		freeInsts: make([]*dynInst, 0, cfg.ROBSize+cfg.FetchQueue),
 		active:    make([]*dynInst, 0, cfg.ROBSize),
+	}
+	if !cfg.LegacyIssueWalk {
+		c.ev = newEventSched(cfg.ROBSize)
 	}
 	return c
 }
@@ -486,7 +515,11 @@ func (c *CPU) step() {
 		return
 	}
 	c.drainAddrBuffer()
-	c.writebackAndIssue(&dports)
+	if c.ev != nil {
+		c.wakeupIssue(&dports)
+	} else {
+		c.writebackAndIssue(&dports)
+	}
 	c.dispatch()
 	c.fetch()
 	c.model.AccountCycle()
@@ -635,11 +668,18 @@ func (c *CPU) flushPipeline() {
 		d.mispredict = false
 		d.addrUnknown = false
 		d.readyAt = 0
+		d.waiterHead = nil
+		d.waitNext = nil
+		d.wheelNext = nil
+		d.wakeCycle = 0
 	}
 	c.rob.clear()
 	c.fetchQ.clear()
 	c.replayQ.clear()
 	c.active = c.active[:0]
+	if c.ev != nil {
+		c.ev.reset()
+	}
 	for _, d := range all {
 		c.replayQ.pushBack(d)
 	}
@@ -668,6 +708,12 @@ func (c *CPU) drainAddrBuffer() {
 		if d := c.findROB(seq); d != nil {
 			d.placed = true
 			d.buffered = false
+			if c.ev != nil {
+				// The instruction was parked on placement: perform (or
+				// complete) attempts resume this cycle, like the legacy
+				// walk's per-cycle recheck.
+				c.ev.attn.set(seq)
+			}
 		}
 	}
 }
@@ -807,6 +853,7 @@ func (c *CPU) completeExec(d *dynInst) {
 			c.fetchBlockedUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
 		}
 		d.state = stDone
+		c.wakeWaiters(d)
 		return
 	}
 	if d.isMem() {
@@ -817,12 +864,19 @@ func (c *CPU) completeExec(d *dynInst) {
 		}
 		pl := c.model.AddressReady(d.in.Seq, d.in.Cls == isa.ClassLoad, d.in.Addr, d.in.Size)
 		if d.in.Cls == isa.ClassStore && d.addrUnknown {
+			wasOK, wasFront := c.minUnknownOK, c.minUnknownSeq
 			d.addrUnknown = false
 			c.unknownCount--
-			if c.minUnknownOK && d.in.Seq == c.minUnknownSeq {
+			if wasOK && d.in.Seq == wasFront {
 				// The frontier store resolved: recompute lazily from
 				// here (the next frontier can only be younger).
 				c.minUnknownOK = false
+			}
+			if c.ev != nil && (!wasOK || d.in.Seq == wasFront) {
+				// The readyBit frontier may have advanced: wake every
+				// load it passed. A resolve behind a still-valid
+				// frontier cannot unblock anyone and wakes nothing.
+				c.wakeReadyBitWaiters(c.minUnknownStore())
 			}
 		}
 		switch {
@@ -839,6 +893,7 @@ func (c *CPU) completeExec(d *dynInst) {
 		return
 	}
 	d.state = stDone
+	c.wakeWaiters(d)
 }
 
 // issueInt starts an integer-side instruction (including AGEN for
@@ -911,31 +966,48 @@ func (c *CPU) issueFP(d *dynInst) bool {
 	return true
 }
 
+// loadBlock classifies why tryPerformLoad could not perform a load
+// this cycle. The wakeup scheduler parks the load on the matching
+// event; the legacy walk ignores the value and rechecks every cycle.
+type loadBlock uint8
+
+const (
+	loadPerformed loadBlock = iota
+	loadNotPlaced           // waiting for the AddrBuffer drain
+	loadReadyBit            // an older store's address is unknown
+	loadFwdWait             // the forwarding source store has not performed
+	loadNoPort              // Dcache ports exhausted this cycle
+)
+
 // tryPerformLoad attempts the memory access of a load whose address is
 // known: it must be placed in the LSQ, its readyBit must be set (no
 // older store with an unknown address) and a Dcache port must be free
 // unless the data is forwarded.
-func (c *CPU) tryPerformLoad(d *dynInst, dports *int) {
+func (c *CPU) tryPerformLoad(d *dynInst, dports *int) loadBlock {
 	if d.performed || !d.placed {
-		return
+		if d.performed {
+			return loadPerformed
+		}
+		return loadNotPlaced
 	}
 	if c.minUnknownStore() < d.in.Seq {
-		return // readyBit clear: an older store address is unknown
+		return loadReadyBit // readyBit clear: an older store address is unknown
 	}
 	if src, ok := c.model.ForwardingSource(d.in.Seq); ok {
 		// Forward once the store's data is available.
 		if st := c.findROB(src); st != nil && !st.performed {
-			return
+			return loadFwdWait
 		}
 		d.performed = true
 		d.state = stDone
 		d.readyAt = c.cycle + latFwd
 		c.res.ForwardedLoads++
 		c.model.NotePerformed(d.in.Seq)
-		return
+		c.wakeWaiters(d)
+		return loadPerformed
 	}
 	if *dports <= 0 {
-		return
+		return loadNoPort
 	}
 	*dports--
 	d.performed = true
@@ -976,6 +1048,8 @@ func (c *CPU) tryPerformLoad(d *dynInst, dports *int) {
 	}
 	d.state = stDone
 	d.readyAt = c.cycle + uint64(lat)
+	c.wakeWaiters(d)
+	return loadPerformed
 }
 
 // ---- Dispatch ----------------------------------------------------------------
@@ -1040,7 +1114,11 @@ func (c *CPU) dispatch() {
 		}
 		c.robNextSeq = d.in.Seq + 1
 		c.rob.pushBack(d)
-		c.active = append(c.active, d)
+		if c.ev != nil {
+			c.schedAdmit(d)
+		} else {
+			c.active = append(c.active, d)
+		}
 		c.fetchQ.popFront()
 		n++
 	}

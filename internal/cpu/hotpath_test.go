@@ -10,9 +10,9 @@ import (
 
 // steadyAllocs reports the allocations of 2000 simulated cycles after
 // the pipeline and the model have reached steady state.
-func steadyAllocs(t *testing.T, model lsq.Model) float64 {
+func steadyAllocs(t *testing.T, model lsq.Model, bench string) float64 {
 	t.Helper()
-	p := trace.MustPersonality("gzip")
+	p := trace.MustPersonality(bench)
 	c := New(PaperConfig(), trace.NewGenerator(p), model, nil, nil, nil, nil)
 	c.Run(20000) // fill the arena, grow every scratch buffer
 	return testing.AllocsPerRun(5, func() {
@@ -25,7 +25,10 @@ func steadyAllocs(t *testing.T, model lsq.Model) float64 {
 // TestStepZeroAllocSteadyState is the hot-path guard: once warm, the
 // per-cycle path must not allocate, whatever the LSQ model. A failure
 // here means a map, append or escape crept back into the
-// per-instruction path — see docs/performance.md.
+// per-instruction path — see docs/performance.md. The pointer-chaser
+// personality additionally pins the wakeup scheduler's structures
+// (waiter lists, timing wheel, wait bitmaps) under the long
+// dependence chains they exist for.
 func TestStepZeroAllocSteadyState(t *testing.T) {
 	models := map[string]func() lsq.Model{
 		"conventional": func() lsq.Model { return lsq.NewConventional(128, nil) },
@@ -33,21 +36,22 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 		"arb":          func() lsq.Model { return lsq.NewARB(8, 16, 128) },
 		"samie":        func() lsq.Model { return core.NewPaper(nil) },
 	}
-	for name, mk := range models {
-		t.Run(name, func(t *testing.T) {
-			if n := steadyAllocs(t, mk()); n > 0 {
-				t.Errorf("%s: %.1f allocs per 2000 steady-state cycles, want 0", name, n)
-			}
-		})
+	for _, bench := range []string{"gzip", "pointer-chaser"} {
+		for name, mk := range models {
+			t.Run(bench+"/"+name, func(t *testing.T) {
+				if n := steadyAllocs(t, mk(), bench); n > 0 {
+					t.Errorf("%s/%s: %.1f allocs per 2000 steady-state cycles, want 0", bench, name, n)
+				}
+			})
+		}
 	}
 }
 
-// BenchmarkHotPathStep measures raw simulator cycles per second on the
-// paper configuration with the SAMIE-LSQ (the dominant workload of
-// every figure harness).
-func BenchmarkHotPathStep(b *testing.B) {
-	p := trace.MustPersonality("gzip")
-	c := New(PaperConfig(), trace.NewGenerator(p), core.NewPaper(nil), nil, nil, nil, nil)
+func benchSteps(b *testing.B, bench string, legacy bool) {
+	p := trace.MustPersonality(bench)
+	cfg := PaperConfig()
+	cfg.LegacyIssueWalk = legacy
+	c := New(cfg, trace.NewGenerator(p), core.NewPaper(nil), nil, nil, nil, nil)
 	c.Run(20000)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -55,3 +59,21 @@ func BenchmarkHotPathStep(b *testing.B) {
 		c.step()
 	}
 }
+
+// BenchmarkHotPathStep measures raw simulator cycles per second on the
+// paper configuration with the SAMIE-LSQ (the dominant workload of
+// every figure harness).
+func BenchmarkHotPathStep(b *testing.B) { benchSteps(b, "gzip", false) }
+
+// BenchmarkHotPathStepPointerChaser measures the wakeup scheduler on
+// its worst-case-for-the-legacy-walk workload: a serial random load
+// chain keeping the ROB full of parked instructions. Compare against
+// the LegacyWalk variant for the scheduler's cycles/sec win.
+func BenchmarkHotPathStepPointerChaser(b *testing.B) { benchSteps(b, "pointer-chaser", false) }
+
+// BenchmarkHotPathStepPointerChaserLegacyWalk is the same workload on
+// the pre-wakeup O(in-flight) issue walk.
+func BenchmarkHotPathStepPointerChaserLegacyWalk(b *testing.B) { benchSteps(b, "pointer-chaser", true) }
+
+// BenchmarkHotPathStepMcf is the paper's real low-IPC pointer chaser.
+func BenchmarkHotPathStepMcf(b *testing.B) { benchSteps(b, "mcf", false) }

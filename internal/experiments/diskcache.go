@@ -172,6 +172,40 @@ func DefaultCacheDir() (string, error) {
 	return filepath.Join(base, "samielsq"), nil
 }
 
+// ResolveCacheDir maps the conventional -cachedir flag value shared by
+// the CLIs and the server to a concrete directory: "auto" resolves to
+// DefaultCacheDir, "" keeps the disk cache disabled, anything else is
+// used as-is.
+func ResolveCacheDir(flagValue string) (string, error) {
+	if flagValue == "auto" {
+		return DefaultCacheDir()
+	}
+	return flagValue, nil
+}
+
+// OpenBatch assembles the standard command-line/server batch over a
+// -cachedir flag value: disk-backed when a cache directory is
+// available, degrading to an uncached batch when directory resolution
+// or cache construction fails (warn observes the failure; a cache
+// problem must never stop simulations). The second return is the
+// resolved cache directory — "" when the batch runs uncached — for
+// callers that report or prune it.
+func OpenBatch(workers int, cachedirFlag string, warn func(err error)) (*Batch, string) {
+	dir, err := ResolveCacheDir(cachedirFlag)
+	if err != nil {
+		warn(err)
+		dir = ""
+	}
+	if dir != "" {
+		b, err := NewBatchWithCache(workers, dir)
+		if err == nil {
+			return b, dir
+		}
+		warn(err)
+	}
+	return NewBatch(workers), ""
+}
+
 // Dir returns the cache's root directory.
 func (d *DiskCache) Dir() string { return d.dir }
 

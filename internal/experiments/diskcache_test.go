@@ -256,11 +256,13 @@ func TestDiskCachePruneBySize(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Keep one artifact's worth of bytes: pruning retains newest-first,
+	// so the budget must fit the newest artifact (files[2] after the
+	// Chtimes above — glob order is hash order, not age order).
 	var one int64
-	if st, err := os.Stat(files[0]); err == nil {
+	if st, err := os.Stat(files[len(files)-1]); err == nil {
 		one = st.Size()
 	}
-	// Keep roughly one artifact's worth of bytes.
 	ps, err := b.Disk().Prune(one+16, 0)
 	if err != nil {
 		t.Fatal(err)

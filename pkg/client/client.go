@@ -108,8 +108,8 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	}
 	defer resp.Body.Close()
 	ae := &APIError{Status: resp.StatusCode}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-		ae.RetryAfter = time.Duration(secs) * time.Second
+	if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+		ae.RetryAfter = d
 	}
 	var er ErrorResponse
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))

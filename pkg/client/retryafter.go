@@ -1,0 +1,55 @@
+package client
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxDuration is the largest representable time.Duration.
+const maxDuration = time.Duration(math.MaxInt64)
+
+// ParseRetryAfter interprets an RFC 9110 §10.2.3 Retry-After header
+// value: either delta-seconds or an HTTP-date. The second return is
+// false when the value is absent or unparseable (callers should treat
+// that as "no hint", not as zero backoff by fiat). The returned
+// duration is clamped to >= 0 — a negative delta or a date in the past
+// means "retry now", never a negative wait.
+//
+// This is the one Retry-After parser in the repo: pkg/client stamps
+// every APIError.RetryAfter through it, and pkg/cluster's backoff and
+// retry planning consume that field rather than re-reading headers.
+func ParseRetryAfter(v string) (time.Duration, bool) {
+	return parseRetryAfter(v, time.Now())
+}
+
+// parseRetryAfter is ParseRetryAfter against an explicit clock, so the
+// HTTP-date arithmetic is testable.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, true
+		}
+		// Cap before multiplying: a huge delta (e.g. 1e10) would
+		// overflow the int64 nanosecond Duration into a negative wait.
+		// Compare in int64 — the cap itself exceeds a 32-bit int.
+		if int64(secs) > int64(maxDuration/time.Second) {
+			return maxDuration - maxDuration%time.Second, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

@@ -186,7 +186,10 @@ func permanent(err error) bool {
 }
 
 // backoff sleeps for a 429's Retry-After hint, bounded by
-// maxRetryWait, respecting ctx.
+// maxRetryWait, respecting ctx. The hint is APIError.RetryAfter, which
+// pkg/client stamps through its single client.ParseRetryAfter parser
+// (delta-seconds and HTTP-date forms, clamped non-negative) — the
+// fabric never re-reads headers itself.
 func (c *ShardedClient) backoff(ctx context.Context, err error) error {
 	wait := time.Second
 	var ae *client.APIError

@@ -165,6 +165,15 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		default:
 			stalled++
 			if stalled >= maxStalledRounds {
+				if lastErr == nil {
+					// Every chunk request succeeded yet nothing it
+					// streamed matched a pending key: the replicas are
+					// computing canonical spec keys differently from
+					// this coordinator (mixed-version deployment — the
+					// key covers the full normalized spec, including
+					// the CPU configuration).
+					return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone: replicas answered but delivered no pending keys (coordinator/replica version skew?)", remaining, total)
+				}
 				return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone: %w", remaining, total, lastErr)
 			}
 			// Give quarantines a moment to clear before re-sharding the
