@@ -125,16 +125,27 @@ func main() {
 		}
 		sort.Strings(reps)
 		var executed, requests, hits int64
+		var store experiments.StoreStats
 		for _, rep := range reps {
 			st := per[rep]
 			executed += st.Engine.Executed
 			requests += st.Engine.Requests
 			hits += st.Engine.Hits
+			store.Add(st.Store)
 			fmt.Fprintf(os.Stderr, "replica %s: %d executed, %d of %d served from cache, %d workers, up %s\n",
 				rep, st.Engine.Executed, st.Engine.Hits, st.Engine.Requests,
 				st.Workers, (time.Duration(st.UptimeSeconds) * time.Second).Round(time.Second))
+			if ps := st.Store.Peer; ps.Hits > 0 || ps.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "  store: mem %d/%d, disk %d/%d, peer %d/%d hits/misses, %d peer-installed\n",
+					st.Store.Mem.Hits, st.Store.Mem.Misses, st.Store.Disk.Hits, st.Store.Disk.Misses,
+					ps.Hits, ps.Misses, st.Store.PeerInstalls)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "cluster: %d replicas, %d simulations executed, %d of %d requests served from cache\n",
 			len(reps), executed, hits, requests)
+		if store.Peer.Hits > 0 || store.Peer.Misses > 0 {
+			fmt.Fprintf(os.Stderr, "cluster store: %d peer fetches delivered, %d missed, %d installed to disk\n",
+				store.Peer.Hits, store.Peer.Misses, store.PeerInstalls)
+		}
 	}
 }

@@ -12,6 +12,7 @@
 //	samie-serve -cache-max-bytes 1000000000 -cache-max-age 720h
 //	samie-serve -preload                 # warm the run cache from the disk index
 //	samie-serve -max-concurrent 64 -request-timeout 5m
+//	samie-serve -peers http://b:8344,http://c:8344   # tier-2 peer fetch from siblings
 //
 // The process drains gracefully on SIGINT/SIGTERM: in-flight
 // simulations finish (bounded by -shutdown-grace), queued ones are
@@ -28,11 +29,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"samielsq/internal/experiments"
 	"samielsq/internal/server"
+	"samielsq/pkg/cluster"
 )
 
 func main() {
@@ -48,6 +52,9 @@ func main() {
 	cacheMaxAge := flag.Duration("cache-max-age", 0, "prune disk artifacts older than this (0 = keep forever)")
 	pruneInterval := flag.Duration("cache-prune-interval", 15*time.Minute, "how often to re-apply the disk cache bounds")
 	preload := flag.Bool("preload", false, "preload the in-memory run cache from the disk cache index at startup")
+	peers := flag.String("peers", "", "comma-separated sibling replica base URLs for the tier-2 peer-fetch store (this replica excluded)")
+	peerTimeout := flag.Duration("peer-timeout", 3*time.Second, "per-peer probe deadline for tier-2 fetches")
+	peerAdopt := flag.Bool("peer-adopt", true, "adopt the sibling replica set a cluster coordinator supplies with each shard")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
 	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
@@ -88,7 +95,29 @@ func main() {
 		}
 	}
 
-	srv, err := server.New(server.Config{
+	// Tier-2 peer fetch: a static -peers list enables it at boot; with
+	// -peer-adopt a coordinator's pushed replica set enables (or
+	// retargets) it at the first shard. Either way the fetcher is
+	// created once and retargeted thereafter, so its quarantine state
+	// and the batch wiring survive fleet changes.
+	var peerMu sync.Mutex
+	var fetcher *cluster.PeerFetcher
+	setPeers := func(urls []string) {
+		peerMu.Lock()
+		defer peerMu.Unlock()
+		if fetcher == nil {
+			fetcher = cluster.NewPeerFetcher(urls, cluster.WithPeerTimeout(*peerTimeout))
+			batch.SetPeerStore(fetcher)
+			log.Info("peer-fetch tier enabled", "peers", fetcher.Peers())
+			return
+		}
+		fetcher.SetPeers(urls)
+	}
+	if *peers != "" {
+		setPeers(strings.Split(*peers, ","))
+	}
+
+	cfg := server.Config{
 		Batch:          batch,
 		Logger:         log,
 		MaxConcurrent:  *maxConcurrent,
@@ -97,7 +126,11 @@ func main() {
 		MaxInsts:       *maxInsts,
 		CacheDir:       dir,
 		Preloaded:      preloaded,
-	})
+	}
+	if *peerAdopt {
+		cfg.PeerAdopt = setPeers
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Error("config", "err", err)
 		os.Exit(2)
@@ -108,7 +141,7 @@ func main() {
 		log.Error("listen", "err", err)
 		os.Exit(1)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 
 	// Periodic disk-cache hygiene for long-lived processes.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -162,6 +195,23 @@ func main() {
 	}
 	st := batch.Stats()
 	log.Info("stopped", "executed", st.Executed, "hits", st.Hits, "requests", st.Requests)
+}
+
+// newHTTPServer wraps the service handler with the connection-level
+// timeouts the handler itself cannot impose. ReadHeaderTimeout drops a
+// client that trickles its request head (slowloris — the admission
+// semaphore only guards requests that finish arriving), IdleTimeout
+// reclaims parked keep-alive connections. WriteTimeout deliberately
+// stays 0: suite and scenario NDJSON streams legitimately run for as
+// long as the sweep simulates, and a non-zero value would sever them
+// mid-stream (per-request deadlines already come from -request-timeout
+// via the handler's context).
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // pruneDisk applies the disk bounds and logs the outcome.

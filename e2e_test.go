@@ -11,6 +11,7 @@ package samielsq_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -70,6 +71,7 @@ func TestE2E(t *testing.T) {
 		{"E00019", "cluster_two_replica_suite_exactly_once", caseClusterSuiteExactlyOnce},
 		{"E00020", "cluster_failover_replica_stopped_mid_sweep", caseClusterFailoverMidSweep},
 		{"E00021", "server_run_cache_probe", caseRunCacheProbe},
+		{"E00022", "cluster_cold_replica_peer_warm", caseClusterColdReplicaPeerWarm},
 	}
 	seen := map[string]bool{}
 	for _, c := range cases {
@@ -614,5 +616,87 @@ func caseRunCacheProbe(t *testing.T) {
 	}
 	if st := batch.Stats(); st.Requests != 1 || st.Executed != 1 {
 		t.Errorf("probes distorted engine accounting: %+v", st)
+	}
+}
+
+// caseClusterColdReplicaPeerWarm: a replica that joins with an empty
+// disk cache serves a previously-executed sweep entirely from its
+// peer's store — byte-identical figures, zero simulations of its own,
+// every delivered key attributed to the peer tier.
+func caseClusterColdReplicaPeerWarm(t *testing.T) {
+	ctx := context.Background()
+
+	// Replica A executes the sweep the normal way.
+	tsA, batchA, _ := bootReplica(t)
+	csA, err := cluster.New([]string{tsA.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := csA.Suite(ctx, e2eBench, e2eInsts(), nil); err != nil {
+		t.Fatal(err)
+	}
+	specs := samielsq.SuiteSpecs(e2eBench, e2eInsts())
+	if exec := batchA.Stats().Executed; exec != int64(len(specs)) {
+		t.Fatalf("warm replica executed %d of %d specs", exec, len(specs))
+	}
+
+	// Replica B: fresh process, empty disk cache, peer-wired to A.
+	batchB, err := samielsq.NewBatchWithCache(0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchB.SetPeerStore(cluster.NewPeerFetcher([]string{tsA.URL}))
+	sB, err := server.New(server.Config{
+		Batch:        batchB,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultInsts: e2eInsts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(sB.Handler())
+	t.Cleanup(tsB.Close)
+
+	// Re-shard the whole sweep onto B alone.
+	csB, err := cluster.New([]string{tsB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := csB.Suite(ctx, e2eBench, e2eInsts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samielsq.RunSuite(e2eBench, e2eInsts())
+	if got := suite.String(); got != want.String() {
+		t.Errorf("peer-warmed suite differs from single-node RunSuite\ncold replica:\n%s\nsingle-node:\n%s", got, want.String())
+	}
+
+	// The cold replica simulated nothing: every key came from A.
+	if st := batchB.Stats(); st.Executed != 0 {
+		t.Errorf("cold replica executed %d simulations, want 0: %+v", st.Executed, st)
+	}
+	ss := batchB.StoreStats()
+	if ss.Peer.Hits != int64(len(specs)) || ss.PeerInstalls != int64(len(specs)) {
+		t.Errorf("peer tier delivered %d keys and installed %d, want %d of each",
+			ss.Peer.Hits, ss.PeerInstalls, len(specs))
+	}
+	if ss.Peer.Misses != 0 {
+		t.Errorf("peer tier recorded %d misses against a fully warm sibling", ss.Peer.Misses)
+	}
+	if ss.PeerFetch.Count != uint64(len(specs)) {
+		t.Errorf("fetch histogram observed %d probes, want %d", ss.PeerFetch.Count, len(specs))
+	}
+
+	// The delivery is visible on B's Prometheus surface.
+	text, err := client.New(tsB.URL).Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine := fmt.Sprintf("samie_store_hits_total{tier=\"peer\"} %d", len(specs))
+	if !strings.Contains(text, wantLine) {
+		t.Errorf("/metrics missing %q", wantLine)
+	}
+	if !strings.Contains(text, "samie_store_peer_fetch_seconds_bucket{le=\"+Inf\"}") {
+		t.Error("/metrics missing the peer-fetch histogram")
 	}
 }

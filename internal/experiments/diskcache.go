@@ -244,15 +244,23 @@ func (d *DiskCache) read(key string) (RunResult, bool) {
 		return RunResult{}, false
 	}
 	var art diskArtifact
-	if err := json.Unmarshal(data, &art); err != nil ||
-		art.Version != diskCacheVersion || art.Sim != simStamp() ||
-		art.Key != key || art.Meter == nil {
+	if err := json.Unmarshal(data, &art); err != nil || !validArtifact(&art, key) {
 		// Corrupt, truncated, produced by a different simulator build,
 		// version-skewed or hash-collided: treat as a miss; the
 		// post-simulation store rewrites it.
 		return RunResult{}, false
 	}
 	return RunResult{Spec: art.Spec, CPU: art.CPU, Meter: art.Meter, SAMIE: art.SAMIE, Conv: art.Conv}, true
+}
+
+// validArtifact is the single acceptance predicate for run payloads
+// from outside this process — disk artifacts (read, RebuildIndex) and
+// peer-delivered bodies (ValidatePeerResult) alike: the format
+// version, simulator build stamp and canonical key must all match,
+// and the energy meter must be present.
+func validArtifact(art *diskArtifact, key string) bool {
+	return art.Version == diskCacheVersion && art.Sim == simStamp() &&
+		art.Key == key && art.Meter != nil
 }
 
 // store persists a result. Failures are silent by design: the cache is
@@ -283,6 +291,13 @@ func (d *DiskCache) store(key string, res RunResult) {
 		return
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	// CreateTemp makes the file 0600; the cache directory is shared
+	// between processes (and uids, on a common -cachedir), so widen to
+	// the conventional artifact mode before publishing it.
+	if err := os.Chmod(name, 0o644); err != nil {
 		os.Remove(name)
 		return
 	}
@@ -384,7 +399,9 @@ func (d *DiskCache) flushIndex() {
 		return
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(data); err == nil && tmp.Close() == nil {
+	// Same 0600 -> 0644 widening as store: sibling processes under
+	// other uids must be able to enumerate the index.
+	if _, err := tmp.Write(data); err == nil && tmp.Close() == nil && os.Chmod(name, 0o644) == nil {
 		if os.Rename(name, filepath.Join(d.dir, indexFile)) == nil {
 			return
 		}
@@ -424,8 +441,7 @@ func (d *DiskCache) RebuildIndex() (int, error) {
 		}
 		var art diskArtifact
 		if json.Unmarshal(data, &art) != nil ||
-			art.Version != diskCacheVersion || art.Sim != simStamp() ||
-			art.Key == "" || d.path(art.Key) != f || art.Meter == nil {
+			!validArtifact(&art, art.Key) || d.path(art.Key) != f {
 			continue
 		}
 		st, err := os.Stat(f)

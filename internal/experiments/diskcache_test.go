@@ -430,3 +430,30 @@ func TestBatchCacheLimitLRU(t *testing.T) {
 		t.Fatalf("cache holds %d results, want <= 2", b.DistinctRuns())
 	}
 }
+
+func TestDiskCacheArtifactsWorldReadable(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(cacheTestSpec())
+	b.Disk().FlushIndex()
+
+	// CreateTemp makes 0600 temp files; the rename must publish 0644 —
+	// a sibling process under another uid sharing the cache directory
+	// otherwise reads nothing and silently re-simulates.
+	files := artifactFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected one artifact, got %v", files)
+	}
+	for _, f := range append(files, filepath.Join(dir, indexFile)) {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode := st.Mode().Perm(); mode != 0o644 {
+			t.Errorf("%s published with mode %o, want 644", filepath.Base(f), mode)
+		}
+	}
+}

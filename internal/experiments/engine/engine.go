@@ -25,8 +25,8 @@ import (
 // Requests = Executed + Hits + Canceled once the scheduler is idle.
 type Stats struct {
 	Requests  int64 // total Do/DoCtx calls
-	Executed  int64 // jobs actually run (distinct keys)
-	Hits      int64 // requests served a completed result (memoized or coalesced)
+	Executed  int64 // jobs that did the work themselves (distinct keys, minus external-tier hits)
+	Hits      int64 // requests served a completed result (memoized, coalesced, or an external tier)
 	Inflight  int64 // jobs holding a worker slot right now
 	Canceled  int64 // requests abandoned via context, or released unserved by a withdrawn owner
 	Evictions int64 // completed results dropped by the LRU bound
@@ -62,6 +62,7 @@ type Scheduler[K comparable, V any] struct {
 	evictions atomic.Int64
 	inflight  atomic.Int64
 	canceled  atomic.Int64
+	external  atomic.Int64 // jobs whose run() was served by an external tier (see NoteExternalHit)
 }
 
 type job[V any] struct {
@@ -271,6 +272,14 @@ func (s *Scheduler[K, V]) SetLimit(n int) {
 	}
 }
 
+// NoteExternalHit reclassifies the currently-executing job as served
+// by an external tier (a disk cache, a peer replica) rather than
+// computed: Stats counts it as a Hit instead of an Executed, so
+// Executed keeps meaning "work this scheduler actually performed".
+// Call it from inside the job closure, at most once per execution; the
+// Requests = Executed + Hits + Canceled invariant is preserved.
+func (s *Scheduler[K, V]) NoteExternalHit() { s.external.Add(1) }
+
 // Evictions returns how many completed results the LRU bound dropped.
 func (s *Scheduler[K, V]) Evictions() int64 { return s.evictions.Load() }
 
@@ -305,12 +314,23 @@ func (s *Scheduler[K, V]) Len() int {
 // Workers returns the concurrency bound.
 func (s *Scheduler[K, V]) Workers() int { return cap(s.slots) }
 
-// Stats returns a snapshot of the request accounting.
+// Stats returns a snapshot of the request accounting. Jobs flagged by
+// NoteExternalHit move from Executed to Hits; the external counter is
+// read first so a concurrent flag-then-complete can only undercount
+// the move, never drive Executed negative.
 func (s *Scheduler[K, V]) Stats() Stats {
+	ext := s.external.Load()
+	executed := s.executed.Load() - ext
+	if executed < 0 {
+		// The job that flagged itself has not closed out yet; its
+		// executed increment lands momentarily.
+		ext += executed
+		executed = 0
+	}
 	return Stats{
 		Requests:  s.requests.Load(),
-		Executed:  s.executed.Load(),
-		Hits:      s.hits.Load(),
+		Executed:  executed,
+		Hits:      s.hits.Load() + ext,
 		Inflight:  s.inflight.Load(),
 		Canceled:  s.canceled.Load(),
 		Evictions: s.evictions.Load(),

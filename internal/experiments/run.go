@@ -20,6 +20,8 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
+	"time"
 
 	"samielsq/internal/core"
 	"samielsq/internal/cpu"
@@ -197,6 +199,11 @@ func runNormalized(spec RunSpec) RunResult {
 type Batch struct {
 	sched *engine.Scheduler[string, RunResult]
 	disk  *DiskCache
+
+	// Tier-2 peer-fetch backend (see store.go); nil disables the tier.
+	peer                               atomic.Pointer[peerBox]
+	peerHits, peerMisses, peerInstalls atomic.Int64
+	peerFetch                          fetchHist
 }
 
 // NewBatch returns a batch bounded to `workers` concurrent
@@ -225,7 +232,7 @@ func NewBatchWithCache(workers int, cacheDir string) (*Batch, error) {
 func (b *Batch) Run(spec RunSpec) RunResult {
 	n := Normalize(spec)
 	key := keyOf(n)
-	return b.sched.Do(key, b.jobFor(n, key))
+	return b.sched.Do(key, b.jobFor(context.Background(), n, key))
 }
 
 // RunCtx is Run with cancellation: a caller that goes away while its
@@ -239,7 +246,7 @@ func (b *Batch) RunCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 	n := Normalize(spec)
 	key := keyOf(n)
 	for {
-		r, err := b.sched.DoCtx(ctx, key, b.jobFor(n, key))
+		r, err := b.sched.DoCtx(ctx, key, b.jobFor(ctx, n, key))
 		if err == nil {
 			return r, nil
 		}
@@ -253,14 +260,41 @@ func (b *Batch) RunCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 }
 
 // jobFor builds the memoized execution closure for a normalized spec:
-// disk-cache lookup, simulation, disk-cache write-back.
-func (b *Batch) jobFor(n RunSpec, key string) func() RunResult {
+// the tiered-store walk. The closure runs inside the singleflight
+// owner, so concurrent misses on one key coalesce into a single disk
+// read, a single peer fetch, or a single simulation. ctx is the
+// owning request's context; it bounds the peer probe (the simulation
+// itself ignores it — engine jobs run to completion once started).
+// A tier-served result reclassifies the job as a scheduler hit, so
+// engine Executed keeps counting simulations this process performed.
+func (b *Batch) jobFor(ctx context.Context, n RunSpec, key string) func() RunResult {
 	return func() RunResult {
 		if b.disk != nil {
 			if r, ok := b.disk.load(key); ok {
 				r.Spec = n
+				b.sched.NoteExternalHit()
 				return r
 			}
+		}
+		if p := b.PeerStore(); p != nil {
+			start := time.Now()
+			r, ok := p.Fetch(ctx, key)
+			b.peerFetch.observe(time.Since(start))
+			if ok {
+				b.peerHits.Add(1)
+				// The wire carries no spec or hierarchy; restore the
+				// identity the caller asked for, exactly like a
+				// disk-served result.
+				r.Spec = n
+				r.Hier = nil
+				if b.disk != nil {
+					b.disk.store(key, r)
+					b.peerInstalls.Add(1)
+				}
+				b.sched.NoteExternalHit()
+				return r
+			}
+			b.peerMisses.Add(1)
 		}
 		r := runNormalized(n)
 		if b.disk != nil {

@@ -1,0 +1,212 @@
+package experiments
+
+// The tiered run store. A Batch resolves every requested spec through
+// up to three backends before simulating:
+//
+//	tier 0 (mem)  — the engine scheduler's memoized results
+//	tier 1 (disk) — the content-addressed DiskCache
+//	tier 2 (peer) — a PeerStore probing sibling replicas over HTTP
+//	simulate      — runNormalized, the authority of last resort
+//
+// The lookups happen inside the singleflight owner's job closure, so
+// however many callers miss the mem tier concurrently, each key walks
+// the lower tiers (and at most fetches from a peer) exactly once. A
+// peer-delivered result is installed into the local disk cache, so a
+// cold replica warms permanently from one fetch.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// PeerStore is the tier-2 backend: on a local miss it returns the
+// result for a canonical key from a sibling replica, or false when no
+// peer holds it (unreachable peers count as not holding it — the
+// caller degrades to simulation, never fails). Implementations must
+// validate what they accept (see ValidatePeerResult); the Batch
+// installs whatever a Fetch returns. pkg/cluster.PeerFetcher is the
+// standard implementation.
+type PeerStore interface {
+	Fetch(ctx context.Context, key string) (RunResult, bool)
+}
+
+// SetPeerStore attaches (or, with nil, detaches) the batch's tier-2
+// peer-fetch backend. Safe to call concurrently with running requests;
+// in-flight jobs keep the store they started with.
+func (b *Batch) SetPeerStore(p PeerStore) {
+	if p == nil {
+		b.peer.Store(nil)
+		return
+	}
+	b.peer.Store(&peerBox{s: p})
+}
+
+// PeerStore returns the attached tier-2 backend, or nil.
+func (b *Batch) PeerStore() PeerStore {
+	if box := b.peer.Load(); box != nil {
+		return box.s
+	}
+	return nil
+}
+
+// peerBox wraps the interface so an atomic.Pointer can hold it.
+type peerBox struct{ s PeerStore }
+
+// SimStamp identifies the simulator build this process runs (the VCS
+// revision, or "dev" for unstamped/dirty builds). Peers exchange it
+// alongside run payloads so a replica never adopts numbers a different
+// simulator build produced — the same guard the disk tier applies to
+// artifacts.
+func SimStamp() string { return simStamp() }
+
+// ValidatePeerResult vets a peer-delivered run payload through the
+// same acceptance predicate the disk tier applies to artifacts
+// (validArtifact): the peer must echo the requested canonical key,
+// report this build's simulator stamp, and carry an energy meter.
+// A non-nil error means the payload must be treated as a miss and
+// never installed.
+func ValidatePeerResult(key, gotKey, sim string, r RunResult) error {
+	art := diskArtifact{Version: diskCacheVersion, Sim: sim, Key: gotKey, Meter: r.Meter}
+	if !validArtifact(&art, key) {
+		return fmt.Errorf("experiments: peer result rejected: key %q (want %q), sim %q (local %q), meter present %v",
+			gotKey, key, sim, simStamp(), r.Meter != nil)
+	}
+	return nil
+}
+
+// TierStats is one tier's lookup accounting.
+type TierStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// StoreStats is the tiered store's per-tier accounting: every request
+// resolves at the first tier that hits, so a request served by the
+// peer tier counts a miss at mem and disk and a hit at peer. Exposed
+// through /v1/stats ("store") and /metrics
+// (samie_store_{hits,misses}_total{tier="mem|disk|peer"}).
+type StoreStats struct {
+	Mem  TierStats `json:"mem"`
+	Disk TierStats `json:"disk"`
+	Peer TierStats `json:"peer"`
+
+	// PeerInstalls counts peer-fetched results persisted into the
+	// local disk tier.
+	PeerInstalls int64 `json:"peer_installs"`
+
+	// PeerFetch is the peer-probe latency distribution (hits and
+	// misses both: a slow miss is the signal worth alerting on).
+	PeerFetch FetchHist `json:"peer_fetch"`
+}
+
+// Add accumulates another snapshot into s; cluster tooling uses it to
+// aggregate per-replica store stats.
+func (s *StoreStats) Add(o StoreStats) {
+	s.Mem.Hits += o.Mem.Hits
+	s.Mem.Misses += o.Mem.Misses
+	s.Disk.Hits += o.Disk.Hits
+	s.Disk.Misses += o.Disk.Misses
+	s.Peer.Hits += o.Peer.Hits
+	s.Peer.Misses += o.Peer.Misses
+	s.PeerInstalls += o.PeerInstalls
+	s.PeerFetch.add(o.PeerFetch)
+}
+
+// StoreStats snapshots the batch's tiered-store accounting. Mem-tier
+// hits are the engine's (memoized + coalesced + externally served)
+// minus what the lower tiers delivered; mem misses are the jobs that
+// had to walk down.
+func (b *Batch) StoreStats() StoreStats {
+	es := b.sched.Stats()
+	ds := b.DiskStats()
+	peerHits := b.peerHits.Load()
+	external := ds.Hits + peerHits
+	memHits := es.Hits - external
+	if memHits < 0 {
+		// A lower-tier hit inside a still-closing job; transiently
+		// clamp rather than report a negative counter.
+		memHits = 0
+	}
+	return StoreStats{
+		Mem:          TierStats{Hits: memHits, Misses: es.Executed + external},
+		Disk:         TierStats{Hits: ds.Hits, Misses: ds.Misses},
+		Peer:         TierStats{Hits: peerHits, Misses: b.peerMisses.Load()},
+		PeerInstalls: b.peerInstalls.Load(),
+		PeerFetch:    b.peerFetch.snapshot(),
+	}
+}
+
+// fetchBuckets are the peer-fetch histogram's upper bounds in seconds
+// (the Prometheus defaults trimmed to the latencies an HTTP probe can
+// plausibly take).
+var fetchBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// FetchHist is a snapshot of the peer-fetch latency histogram.
+// Counts[i] is the number of observations ≤ Bounds[i] seconds
+// (non-cumulative per bucket); the final element counts observations
+// beyond every bound (+Inf).
+type FetchHist struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// add merges another snapshot (cluster aggregation); bucket counts
+// merge only when the bounds agree, Sum/Count always do.
+func (h *FetchHist) add(o FetchHist) {
+	h.Sum += o.Sum
+	h.Count += o.Count
+	if len(h.Counts) == 0 {
+		h.Bounds = o.Bounds
+		h.Counts = o.Counts
+		return
+	}
+	if len(o.Counts) != len(h.Counts) {
+		return
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+}
+
+// fetchBucketCount is len(fetchBuckets) + 1: the trailing bucket
+// counts observations beyond every bound (+Inf).
+const fetchBucketCount = 12
+
+// fetchHist is the live histogram: fixed buckets, lock-free observes.
+// The sum accumulates in nanoseconds so it needs no float CAS loop.
+type fetchHist struct {
+	buckets  [fetchBucketCount]atomic.Uint64
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+func (h *fetchHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(fetchBuckets) && sec > fetchBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+func (h *fetchHist) snapshot() FetchHist {
+	if h.count.Load() == 0 {
+		return FetchHist{}
+	}
+	counts := make([]uint64, len(fetchBuckets)+1)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	return FetchHist{
+		Bounds: append([]float64(nil), fetchBuckets...),
+		Counts: counts,
+		Sum:    float64(h.sumNanos.Load()) / 1e9,
+		Count:  h.count.Load(),
+	}
+}

@@ -55,6 +55,7 @@ func runResponseFor(n experiments.RunSpec, res experiments.RunResult) client.Run
 		Model:       client.ModelName(n.Model),
 		Insts:       n.Insts,
 		Warmup:      n.Warmup,
+		Sim:         experiments.SimStamp(),
 		CPU:         res.CPU,
 		SAMIE:       res.SAMIE,
 		Conv:        res.Conv,
@@ -128,6 +129,11 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("%d specs exceeds the per-request cap %d", len(req.Specs), maxSuiteSpecs))
 		return
+	}
+	if len(req.Peers) > 0 && s.cfg.PeerAdopt != nil {
+		// The coordinator names the rest of its fleet; hand the list to
+		// the peer-fetch tier before the shard's lookups begin.
+		s.cfg.PeerAdopt(req.Peers)
 	}
 	if len(req.Specs) > 0 {
 		specs = make([]experiments.RunSpec, 0, len(req.Specs))

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
+	"samielsq/internal/experiments"
 	"samielsq/pkg/client"
 )
 
@@ -17,6 +19,7 @@ func (s *Server) statsSnapshot() client.StatsResponse {
 	return client.StatsResponse{
 		Engine:         s.batch.Stats(),
 		Disk:           s.batch.DiskStats(),
+		Store:          s.batch.StoreStats(),
 		DistinctRuns:   s.batch.DistinctRuns(),
 		Workers:        s.batch.Workers(),
 		MaxConcurrent:  cap(s.sem),
@@ -72,4 +75,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, m := range metrics {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.kind, m.name, m.value)
 	}
+
+	// Tiered run store: per-tier hit/miss counters (labeled) plus the
+	// peer-fetch latency histogram.
+	tiers := []struct {
+		name string
+		t    experiments.TierStats
+	}{
+		{"mem", st.Store.Mem},
+		{"disk", st.Store.Disk},
+		{"peer", st.Store.Peer},
+	}
+	fmt.Fprintf(w, "# HELP samie_store_hits_total Run-store lookups served, per tier.\n# TYPE samie_store_hits_total counter\n")
+	for _, tier := range tiers {
+		fmt.Fprintf(w, "samie_store_hits_total{tier=%q} %d\n", tier.name, tier.t.Hits)
+	}
+	fmt.Fprintf(w, "# HELP samie_store_misses_total Run-store lookups that fell through, per tier.\n# TYPE samie_store_misses_total counter\n")
+	for _, tier := range tiers {
+		fmt.Fprintf(w, "samie_store_misses_total{tier=%q} %d\n", tier.name, tier.t.Misses)
+	}
+	fmt.Fprintf(w, "# HELP samie_store_peer_installs_total Peer-fetched results installed into the local disk cache.\n# TYPE samie_store_peer_installs_total counter\n")
+	fmt.Fprintf(w, "samie_store_peer_installs_total %d\n", st.Store.PeerInstalls)
+
+	h := st.Store.PeerFetch
+	fmt.Fprintf(w, "# HELP samie_store_peer_fetch_seconds Peer probe latency (hits and misses).\n# TYPE samie_store_peer_fetch_seconds histogram\n")
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "samie_store_peer_fetch_seconds_bucket{le=%q} %d\n", trimFloat(bound), cum)
+	}
+	fmt.Fprintf(w, "samie_store_peer_fetch_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+	fmt.Fprintf(w, "samie_store_peer_fetch_seconds_sum %g\n", h.Sum)
+	fmt.Fprintf(w, "samie_store_peer_fetch_seconds_count %d\n", h.Count)
+}
+
+// trimFloat renders a histogram bound the canonical Prometheus way
+// (shortest decimal form, "0.005" not "5e-03").
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
 }

@@ -72,6 +72,14 @@ type Config struct {
 	// the batch already owns the actual cache).
 	CacheDir  string
 	Preloaded int
+
+	// PeerAdopt, when non-nil, receives the sibling replica set a
+	// cluster coordinator supplies with a shard (SuiteRequest.Peers,
+	// this replica excluded) so the batch's tier-2 peer-fetch store
+	// can track the fleet without static configuration. Called from
+	// request handlers; implementations must be safe for concurrent
+	// use. Never called with an empty list.
+	PeerAdopt func(peers []string)
 }
 
 // Server is the HTTP simulation service; construct with New, expose

@@ -140,6 +140,12 @@ type RunResponse struct {
 	Insts     uint64 `json:"insts"`
 	Warmup    uint64 `json:"warmup"`
 
+	// Sim is the serving replica's simulator build stamp
+	// (experiments.SimStamp). The peer-fetch tier refuses results from
+	// a different build, exactly as the disk tier refuses such
+	// artifacts.
+	Sim string `json:"sim,omitempty"`
+
 	CPU   cpu.Result         `json:"cpu"`
 	SAMIE core.Stats         `json:"samie_stats"`
 	Conv  lsq.OccupancyStats `json:"conv_occupancy"`
@@ -233,6 +239,13 @@ type SuiteRequest struct {
 	Insts      uint64   `json:"insts,omitempty"`
 
 	Specs []RunRequest `json:"specs,omitempty"`
+
+	// Peers are the coordinator's other replicas (base URLs, the
+	// target excluded): the replica may adopt them as its tier-2
+	// peer-fetch set, so a fleet assembled by the coordinator needs no
+	// static -peers configuration. Ignored when empty or when the
+	// server disables adoption.
+	Peers []string `json:"peers,omitempty"`
 }
 
 // SuiteEvent is one NDJSON line of a streamed suite execution: a "run"
@@ -258,11 +271,12 @@ type SuiteResponse struct {
 	Runs  []RunResponse `json:"runs,omitempty"`
 }
 
-// StatsResponse is the GET /v1/stats body: engine, disk-cache and
+// StatsResponse is the GET /v1/stats body: engine, tiered-store and
 // process accounting for the shared batch behind the service.
 type StatsResponse struct {
 	Engine       engine.Stats               `json:"engine"`
 	Disk         experiments.DiskCacheStats `json:"disk"`
+	Store        experiments.StoreStats     `json:"store"`
 	DistinctRuns int                        `json:"distinct_runs"`
 	Workers      int                        `json:"workers"`
 

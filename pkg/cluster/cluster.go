@@ -284,6 +284,13 @@ func (c *ShardedClient) ProbeRun(ctx context.Context, key string) (client.RunRes
 			if ctx.Err() != nil {
 				return client.RunResponse{}, false, err
 			}
+			if permanent(err) {
+				// The probe itself is malformed (4xx): no replica would
+				// answer differently, and quarantining healthy replicas
+				// over the requester's mistake would blind the fabric —
+				// mirror do()/RunSpecs and fail fast instead.
+				return client.RunResponse{}, false, err
+			}
 			c.markDown(rep)
 			lastErr = err
 			continue
@@ -393,6 +400,7 @@ func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error)
 		agg.ProbeHits += st.ProbeHits
 		agg.ProbeMisses += st.ProbeMisses
 		agg.SuiteSpecs += st.SuiteSpecs
+		agg.Store.Add(st.Store)
 		agg.Preloaded += st.Preloaded
 		agg.Goroutines += st.Goroutines
 		agg.HeapBytes += st.HeapBytes

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/pkg/client"
+)
+
+// PeerFetcher is the standard experiments.PeerStore: the tier-2
+// backend that lets a replica serve keys it never executed. On a local
+// miss it probes sibling replicas through GET /v1/runs/{key} in
+// rendezvous weight order — after a rebalance the previous owner ranks
+// highest among the peers, so the artifact is usually one probe away —
+// validates each 200 body against the local simulator build stamp
+// (ValidatePeerResult, the disk tier's acceptance predicate), and
+// returns the first valid result for installation into the local disk
+// cache. Unreachable, slow, empty-handed or build-skewed peers all
+// degrade to a miss: the caller simulates, it never fails.
+//
+// A peer that errors at the transport level is quarantined briefly so
+// a dead replica does not tax every subsequent miss with a connect
+// timeout. Safe for concurrent use; SetPeers may retarget it live.
+type PeerFetcher struct {
+	timeout    time.Duration
+	quarantine time.Duration
+	hc         *http.Client
+
+	mu        sync.RWMutex
+	ring      *Rendezvous
+	clients   map[string]*client.Client
+	downUntil map[string]time.Time
+}
+
+// PeerOption customizes a PeerFetcher.
+type PeerOption func(*PeerFetcher)
+
+// WithPeerTimeout bounds one peer probe (per replica, not per fetch);
+// default 3s. Zero disables the per-probe bound (the request context
+// still governs).
+func WithPeerTimeout(d time.Duration) PeerOption {
+	return func(p *PeerFetcher) { p.timeout = d }
+}
+
+// WithPeerQuarantine sets how long a transport-failed peer is skipped
+// before being probed again; default 15s.
+func WithPeerQuarantine(d time.Duration) PeerOption {
+	return func(p *PeerFetcher) { p.quarantine = d }
+}
+
+// WithPeerHTTPClient substitutes the *http.Client used for probes.
+func WithPeerHTTPClient(hc *http.Client) PeerOption {
+	return func(p *PeerFetcher) { p.hc = hc }
+}
+
+// NewPeerFetcher builds the tier-2 backend over the sibling replica
+// base URLs (this replica excluded — probing yourself is a guaranteed
+// miss). An empty set is valid: every fetch misses until SetPeers
+// supplies replicas (e.g. adopted from a coordinator).
+func NewPeerFetcher(peers []string, opts ...PeerOption) *PeerFetcher {
+	p := &PeerFetcher{
+		timeout:    3 * time.Second,
+		quarantine: 15 * time.Second,
+		hc:         &http.Client{},
+		downUntil:  map[string]time.Time{},
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.SetPeers(peers)
+	return p
+}
+
+// The fetcher is the cluster-backed tier-2 store.
+var _ experiments.PeerStore = (*PeerFetcher)(nil)
+
+// SetPeers retargets the fetcher at a new sibling set (trimmed,
+// deduplicated; order irrelevant). A no-op when the set is unchanged,
+// so a coordinator may push its replica list with every shard.
+func (p *PeerFetcher) SetPeers(peers []string) {
+	urls := make([]string, 0, len(peers))
+	for _, r := range peers {
+		if r = strings.TrimRight(strings.TrimSpace(r), "/"); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	ring := NewRendezvous(urls)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ring != nil && slices.Equal(ring.Replicas(), p.ring.Replicas()) {
+		return
+	}
+	clients := make(map[string]*client.Client, len(ring.Replicas()))
+	for _, rep := range ring.Replicas() {
+		clients[rep] = client.New(rep, client.WithHTTPClient(p.hc))
+	}
+	p.ring, p.clients = ring, clients
+	p.downUntil = map[string]time.Time{}
+}
+
+// Peers returns the current sibling set, sorted.
+func (p *PeerFetcher) Peers() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ring.Replicas()
+}
+
+// usable reports whether a peer is outside its quarantine window.
+func (p *PeerFetcher) usable(rep string, now time.Time) bool {
+	p.mu.RLock()
+	until, down := p.downUntil[rep]
+	p.mu.RUnlock()
+	return !down || now.After(until)
+}
+
+// markDown quarantines a peer after a transport failure.
+func (p *PeerFetcher) markDown(rep string) {
+	p.mu.Lock()
+	p.downUntil[rep] = time.Now().Add(p.quarantine)
+	p.mu.Unlock()
+}
+
+// markUp clears a peer's quarantine after any completed exchange.
+func (p *PeerFetcher) markUp(rep string) {
+	p.mu.Lock()
+	delete(p.downUntil, rep)
+	p.mu.Unlock()
+}
+
+// Fetch probes the sibling replicas for key, best-ranked first,
+// returning the first valid result. False means no peer delivered one
+// — for any reason — and the caller should simulate.
+func (p *PeerFetcher) Fetch(ctx context.Context, key string) (experiments.RunResult, bool) {
+	p.mu.RLock()
+	ring, clients := p.ring, p.clients
+	p.mu.RUnlock()
+	now := time.Now()
+	for _, rep := range ring.Ranked(key) {
+		if !p.usable(rep, now) {
+			continue
+		}
+		pctx, cancel := ctx, context.CancelFunc(func() {})
+		if p.timeout > 0 {
+			pctx, cancel = context.WithTimeout(ctx, p.timeout)
+		}
+		out, ok, err := clients[rep].ProbeRun(pctx, key)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				// The owning request went away; stop probing on its
+				// behalf.
+				return experiments.RunResult{}, false
+			}
+			if !permanent(err) && !client.IsThrottled(err) {
+				p.markDown(rep)
+			}
+			continue
+		}
+		p.markUp(rep)
+		if !ok {
+			continue
+		}
+		res := out.Result()
+		if experiments.ValidatePeerResult(key, out.Key, out.Sim, res) != nil {
+			// Corrupt body or a different simulator build: a miss for
+			// this peer, never installed. Another peer may still hold
+			// a valid artifact.
+			continue
+		}
+		return res, true
+	}
+	return experiments.RunResult{}, false
+}

@@ -102,9 +102,10 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 						onProgress(Progress{Replica: rep, Key: key, Done: len(results), Total: total})
 					}
 				}
+				peers := c.peersFor(rep)
 				for start := 0; start < len(shard); start += shardChunk {
 					end := min(start+shardChunk, len(shard))
-					_, err := c.clients[rep].Suite(ctx, client.SuiteRequest{Specs: shard[start:end]}, onEvent)
+					_, err := c.clients[rep].Suite(ctx, client.SuiteRequest{Specs: shard[start:end], Peers: peers}, onEvent)
 					if err == nil {
 						continue
 					}
@@ -186,6 +187,26 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		}
 	}
 	return results, nil
+}
+
+// peersFor returns the replica set minus the target — the sibling
+// list a shard request carries so the target can warm its tier-2
+// peer-fetch store from the rest of the fleet (e.g. after a rebalance
+// moved keys it never executed). Nil for a single-replica ring: a
+// replica with no siblings has nothing to adopt, and an empty push
+// must not clear an operator's static -peers configuration.
+func (c *ShardedClient) peersFor(rep string) []string {
+	all := c.ring.Replicas()
+	peers := make([]string, 0, len(all)-1)
+	for _, r := range all {
+		if r != rep {
+			peers = append(peers, r)
+		}
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	return peers
 }
 
 // Suite regenerates the paper's full evaluation by fanning the suite

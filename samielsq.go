@@ -77,6 +77,16 @@ type (
 	EngineStats = engine.Stats
 	// DiskCacheStats counts the on-disk run cache's traffic.
 	DiskCacheStats = experiments.DiskCacheStats
+	// StoreStats is the tiered run store's accounting: per-tier
+	// hit/miss counters (mem, disk, peer), peer installs, and the
+	// peer-fetch latency histogram.
+	StoreStats = experiments.StoreStats
+	// TierStats is one tier's hit/miss pair within StoreStats.
+	TierStats = experiments.TierStats
+	// PeerStore is the tier-2 backend a Batch consults after a disk
+	// miss, before simulating; cluster.NewPeerFetcher is the HTTP
+	// implementation that probes sibling replicas.
+	PeerStore = experiments.PeerStore
 	// CachePruneStats reports what a disk-cache prune removed and kept.
 	CachePruneStats = experiments.PruneStats
 )
