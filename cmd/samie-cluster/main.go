@@ -42,6 +42,7 @@ func main() {
 	insts := flag.Uint64("insts", 0, "measured instructions per benchmark (default: the library default)")
 	flag.Var(&scenarios, "scenario", "registered scenario sweep to shard across the cluster; repeatable (default: the full suite)")
 	stats := flag.Bool("stats", false, "print per-replica and aggregate engine accounting to stderr afterwards")
+	retryBudget := flag.Int("max-retry-budget", 32, "total stream resumes + re-shard rounds a sweep may spend before giving up")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the sweep (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := cluster.New(strings.Split(*replicas, ","))
+	c, err := cluster.New(strings.Split(*replicas, ","), cluster.WithRetryBudget(*retryBudget))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -147,5 +148,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cluster store: %d peer fetches delivered, %d missed, %d installed to disk\n",
 				store.Peer.Hits, store.Peer.Misses, store.PeerInstalls)
 		}
+		sw := c.SweepStats()
+		fmt.Fprintf(os.Stderr, "cluster sweep: %d rounds, %d stream resumes, %d throttle waits, %d of %d retry budget spent, %d breaker trips\n",
+			sw.Rounds, sw.Resumes, sw.ThrottleWaits, sw.RetriesUsed, sw.RetryBudget, sw.BreakerTrips)
 	}
 }

@@ -14,9 +14,10 @@
 //	samie-serve -max-concurrent 64 -request-timeout 5m
 //	samie-serve -peers http://b:8344,http://c:8344   # tier-2 peer fetch from siblings
 //
-// The process drains gracefully on SIGINT/SIGTERM: in-flight
-// simulations finish (bounded by -shutdown-grace), queued ones are
-// withdrawn.
+// The process drains gracefully on SIGINT/SIGTERM: /healthz flips to
+// 503, live NDJSON streams receive a terminal error event before the
+// listener closes, in-flight simulations finish (bounded by
+// -shutdown-grace), queued ones are withdrawn.
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/faultinject"
 	"samielsq/internal/server"
 	"samielsq/pkg/cluster"
 )
@@ -56,6 +58,7 @@ func main() {
 	peerTimeout := flag.Duration("peer-timeout", 3*time.Second, "per-peer probe deadline for tier-2 fetches")
 	peerAdopt := flag.Bool("peer-adopt", true, "adopt the sibling replica set a cluster coordinator supplies with each shard")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
+	chaos := flag.String("chaos", "", `deterministic fault injection spec, e.g. "err=0.1,lat=5ms:50ms,reset=0.05,trunc=0.02,seed=42" (testing only; POST /v1/chaos reconfigures at runtime)`)
 	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -68,6 +71,12 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	log := slog.New(handler)
+
+	chaosSpec, err := faultinject.ParseSpec(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Assemble the shared batch: one memoizing scheduler for every
 	// client of this process, spilling to disk unless -cachedir ""
@@ -126,6 +135,7 @@ func main() {
 		MaxInsts:       *maxInsts,
 		CacheDir:       dir,
 		Preloaded:      preloaded,
+		Chaos:          chaosSpec,
 	}
 	if *peerAdopt {
 		cfg.PeerAdopt = setPeers
@@ -134,6 +144,9 @@ func main() {
 	if err != nil {
 		log.Error("config", "err", err)
 		os.Exit(2)
+	}
+	if chaosSpec.Enabled() {
+		log.Warn("chaos fault injection ENABLED", "spec", chaosSpec.String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -177,11 +190,15 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let admitted requests (and their
-	// simulations) finish inside the grace window. Queued simulations
-	// whose requests die with the window are withdrawn by their
-	// contexts, so nothing leaks.
+	// Graceful drain: /healthz flips to 503 and in-flight NDJSON
+	// streams get a terminal error event over their still-open
+	// connections (the coordinator re-requests the undelivered work
+	// elsewhere), then the listener closes and admitted non-streaming
+	// requests finish inside the grace window. Queued simulations whose
+	// requests die with the window are withdrawn by their contexts, so
+	// nothing leaks.
 	log.Info("shutting down, draining in-flight simulations", "grace", shutdownGrace.String())
+	srv.BeginDrain()
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -10,7 +10,10 @@ package samielsq_test
 // matrix stays in the seconds range on one core.
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"samielsq"
+	"samielsq/internal/faultinject"
 	"samielsq/internal/server"
 	"samielsq/pkg/client"
 	"samielsq/pkg/cluster"
@@ -72,6 +76,9 @@ func TestE2E(t *testing.T) {
 		{"E00020", "cluster_failover_replica_stopped_mid_sweep", caseClusterFailoverMidSweep},
 		{"E00021", "server_run_cache_probe", caseRunCacheProbe},
 		{"E00022", "cluster_cold_replica_peer_warm", caseClusterColdReplicaPeerWarm},
+		{"E00023", "cluster_chaos_sweep_byte_identical_exactly_once", caseClusterChaosSweep},
+		{"E00024", "cluster_chaos_stream_resume_exactly_once", caseClusterChaosStreamResume},
+		{"E00025", "server_drain_stream_terminal_event", caseServerDrainStream},
 	}
 	seen := map[string]bool{}
 	for _, c := range cases {
@@ -698,5 +705,200 @@ func caseClusterColdReplicaPeerWarm(t *testing.T) {
 	}
 	if !strings.Contains(text, "samie_store_peer_fetch_seconds_bucket{le=\"+Inf\"}") {
 		t.Error("/metrics missing the peer-fetch histogram")
+	}
+}
+
+// bootChaosReplica starts one service replica with deterministic fault
+// injection enabled, returning its URL, the backing batch for
+// exactly-once assertions, and the server handle for fault accounting.
+func bootChaosReplica(t *testing.T, spec string) (string, *samielsq.Batch, *server.Server) {
+	t.Helper()
+	cspec, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := samielsq.NewBatch(0)
+	s, err := server.New(server.Config{
+		Batch:        batch,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultInsts: e2eInsts(),
+		Chaos:        cspec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, batch, s
+}
+
+// chaosCoordinator builds the resilient coordinator the chaos cases
+// share: pinned backoff seed (reproducible), short waits (fast tests),
+// and a retry budget generous enough for heavy injected fault rates.
+func chaosCoordinator(t *testing.T, urls ...string) *cluster.ShardedClient {
+	t.Helper()
+	cs, err := cluster.New(urls,
+		cluster.WithQuarantine(200*time.Millisecond),
+		cluster.WithBackoffSeed(42),
+		cluster.WithMaxRetryWait(250*time.Millisecond),
+		cluster.WithRetryBudget(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// caseClusterChaosSweep is the robustness capstone: a two-replica
+// sweep with every fault kind injected at nonzero rates must still
+// render byte-identically — against testdata/golden_suite.txt at the
+// full budget — and execute each distinct spec exactly once
+// cluster-wide. Faults may slow the sweep down; they must never change
+// its bytes or its accounting.
+func caseClusterChaosSweep(t *testing.T) {
+	const spec = "err=0.1,lat=1ms:3ms,reset=0.05,trunc=0.25,seed=42"
+	urlA, batchA, srvA := bootChaosReplica(t, spec)
+	urlB, batchB, srvB := bootChaosReplica(t, spec)
+	cs := chaosCoordinator(t, urlA, urlB)
+
+	benchmarks, insts := e2eBench, e2eInsts()
+	if !testing.Short() {
+		// The golden bar: same benchmarks and budget the golden suite
+		// pins, so the sweep output can be diffed against its bytes.
+		benchmarks, insts = []string{"ammp", "gzip", "mcf", "swim"}, 25_000
+	}
+	suite, err := cs.Suite(context.Background(), benchmarks, insts, nil)
+	if err != nil {
+		t.Fatalf("sweep did not survive chaos: %v (sweep %+v)", err, cs.SweepStats())
+	}
+	if testing.Short() {
+		if want := samielsq.RunSuite(benchmarks, insts).String(); suite.String() != want {
+			t.Error("chaos sweep differs from single-node RunSuite")
+		}
+	} else {
+		golden, err := os.ReadFile("internal/experiments/testdata/golden_suite.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suite.String() != string(golden) {
+			t.Error("chaos sweep not byte-identical to testdata/golden_suite.txt")
+		}
+	}
+
+	// Exactly-once under fire: injected errors and resets fire before
+	// the handler (nothing executes), truncated streams resume from the
+	// replica's memo — so the distinct spec count is the exact
+	// cluster-wide execution total.
+	specs := samielsq.SuiteSpecs(benchmarks, insts)
+	execA, execB := batchA.Stats().Executed, batchB.Stats().Executed
+	if execA+execB != int64(len(specs)) {
+		t.Errorf("cluster executed %d+%d simulations for %d distinct specs, want exactly once",
+			execA, execB, len(specs))
+	}
+	// The case only proves something if faults actually fired.
+	injected := srvA.ChaosCounts()
+	injected.Add(srvB.ChaosCounts())
+	if injected.Total() == 0 {
+		t.Error("no faults injected across the sweep; the chaos spec never engaged")
+	}
+}
+
+// caseClusterChaosStreamResume: with every suite stream truncated
+// mid-body, the coordinator finishes the sweep by resuming undelivered
+// specs from the same replica — which memoized the work it kept
+// computing past the cut — so nothing re-executes and the rendering
+// stays byte-identical.
+func caseClusterChaosStreamResume(t *testing.T) {
+	url, batch, srv := bootChaosReplica(t, "trunc=1,seed=7")
+	cs := chaosCoordinator(t, url)
+
+	suite, err := cs.Suite(context.Background(), e2eBench, e2eInsts(), nil)
+	if err != nil {
+		t.Fatalf("sweep did not survive total truncation: %v (sweep %+v)", err, cs.SweepStats())
+	}
+	if want := samielsq.RunSuite(e2eBench, e2eInsts()).String(); suite.String() != want {
+		t.Error("resumed sweep differs from single-node RunSuite")
+	}
+	specs := samielsq.SuiteSpecs(e2eBench, e2eInsts())
+	if exec := batch.Stats().Executed; exec != int64(len(specs)) {
+		t.Errorf("replica executed %d simulations for %d distinct specs; resumes must drain the memo, not re-execute", exec, len(specs))
+	}
+	if st := cs.SweepStats(); st.Resumes == 0 {
+		t.Errorf("sweep finished without a single stream resume under trunc=1: %+v (injected %+v)",
+			st, srv.ChaosCounts())
+	}
+	if srv.ChaosCounts().Truncations == 0 {
+		t.Error("no truncations fired; the case never exercised the resume path")
+	}
+}
+
+// caseServerDrainStream: the graceful-drain contract end to end —
+// beginning a drain under a live NDJSON suite stream produces an
+// explicit terminal error event on the open connection (the
+// coordinator's cue to re-request undelivered work elsewhere) and
+// flips /healthz to 503 so nothing new is routed here.
+func caseServerDrainStream(t *testing.T) {
+	batch := samielsq.NewBatch(1)
+	s, err := server.New(server.Config{
+		Batch:        batch,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultInsts: e2eInsts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Large runs on a single worker keep the stream in flight while the
+	// drain begins underneath it.
+	var req client.SuiteRequest
+	for i := 0; i < 16; i++ {
+		req.Specs = append(req.Specs, client.RunRequest{
+			Benchmark: "gzip", Insts: 1_000_000, Model: client.ModelConventional,
+			ConvEntries: 8 + i,
+		})
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/suite?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var runs int
+	var terminal *client.SuiteEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() && terminal == nil {
+		var ev client.SuiteEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "run":
+			if runs++; runs == 1 {
+				s.BeginDrain()
+			}
+		case "error", "result":
+			terminal = &ev
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream severed without a terminal event: %v", err)
+	}
+	if terminal == nil || terminal.Type != "error" || !strings.Contains(terminal.Error, "draining") {
+		t.Fatalf("terminal event %+v after %d runs, want an error event naming the drain", terminal, runs)
+	}
+	if runs == len(req.Specs) {
+		t.Fatal("every spec completed before the drain took effect; the case never exercised an in-flight abort")
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz answered %d, want 503", hz.StatusCode)
 	}
 }

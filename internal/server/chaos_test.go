@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"samielsq/internal/faultinject"
+	"samielsq/pkg/client"
+)
+
+// chaosClient is a plain client with transport retries disabled so
+// tests observe injected faults directly instead of surviving them.
+func chaosClient(base string) *client.Client {
+	return client.New(base, client.WithTransportRetries(-1))
+}
+
+func TestChaosInjectsErrorsDeterministically(t *testing.T) {
+	spec, err := faultinject.ParseSpec("err=0.3,throttle=0.2,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fresh servers with the same seed, driven by the same
+	// sequential request sequence, must fire identical fault counts.
+	outcomes := func() (st client.ChaosState, statuses []int) {
+		_, ts, _ := newTestServer(t, Config{Chaos: spec})
+		for i := 0; i < 60; i++ {
+			resp, err := http.Get(ts.URL + "/v1/runs/nonexistent-key")
+			if err != nil {
+				t.Fatalf("probe %d: %v", i, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses = append(statuses, resp.StatusCode)
+		}
+		var cerr error
+		st, cerr = chaosClient(ts.URL).Chaos(context.Background())
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		return st, statuses
+	}
+	stA, seqA := outcomes()
+	stB, seqB := outcomes()
+	if stA.Injected != stB.Injected {
+		t.Fatalf("same seed fired different counts: %+v vs %+v", stA.Injected, stB.Injected)
+	}
+	if stA.Injected.Errors == 0 || stA.Injected.Throttles == 0 {
+		t.Fatalf("60 requests at err=0.3,throttle=0.2 fired %+v", stA.Injected)
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("request %d: status %d vs %d under the same seed", i, seqA[i], seqB[i])
+		}
+	}
+	if !stA.Enabled || stA.Spec != spec.String() {
+		t.Fatalf("chaos state = %+v, want enabled with spec %q", stA, spec.String())
+	}
+}
+
+func TestChaosThrottleCarriesRetryAfter(t *testing.T) {
+	spec, _ := faultinject.ParseSpec("throttle=1,seed=1")
+	_, ts, _ := newTestServer(t, Config{Chaos: spec})
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected 429 lacks Retry-After")
+	}
+}
+
+func TestChaosResetSeversConnection(t *testing.T) {
+	spec, _ := faultinject.ParseSpec("reset=1,seed=1")
+	_, ts, _ := newTestServer(t, Config{Chaos: spec})
+	_, err := chaosClient(ts.URL).Scenarios(context.Background())
+	if err == nil {
+		t.Fatal("request through reset=1 succeeded")
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("reset surfaced as an HTTP error (%v), want a transport failure", ae)
+	}
+}
+
+func TestChaosTruncatesStreams(t *testing.T) {
+	spec, _ := faultinject.ParseSpec("trunc=1,seed=7")
+	s, ts, _ := newTestServer(t, Config{Chaos: spec})
+
+	// A streamed suite over enough specs produces far more than the
+	// truncation ceiling (8KB), so the cut must fire mid-stream and the
+	// client must see the stream die without a result event.
+	specs := make([]client.RunRequest, 0, 12)
+	for i := 0; i < 12; i++ {
+		specs = append(specs, client.RunRequest{
+			Benchmark: "gzip", Model: client.ModelConventional,
+			Insts: testInsts, ConvEntries: 8 + i,
+		})
+	}
+	var events int
+	_, err := chaosClient(ts.URL).Suite(context.Background(),
+		client.SuiteRequest{Specs: specs}, func(ev client.SuiteEvent) { events++ })
+	if err == nil {
+		t.Fatal("truncated suite stream returned no error")
+	}
+	if c := s.chaosCounts(); c.Truncations == 0 {
+		t.Fatalf("no truncation fired: %+v", c)
+	}
+
+	// The replica kept simulating past the cut: every spec is memoized,
+	// so a clean re-request (chaos off) serves the full set without
+	// executing anything new.
+	s.setChaos(faultinject.Spec{})
+	st, _ := chaosClient(ts.URL).Stats(context.Background())
+	before := st.Engine.Executed
+	out, err := chaosClient(ts.URL).Suite(context.Background(), client.SuiteRequest{Specs: specs}, nil)
+	if err != nil {
+		t.Fatalf("re-request after truncation: %v", err)
+	}
+	if len(out.Runs) != len(specs) {
+		t.Fatalf("re-request returned %d runs, want %d", len(out.Runs), len(specs))
+	}
+	st, _ = chaosClient(ts.URL).Stats(context.Background())
+	if st.Engine.Executed != before {
+		t.Fatalf("re-request re-executed: %d -> %d", before, st.Engine.Executed)
+	}
+}
+
+func TestChaosRuntimeReconfigure(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	c := chaosClient(ts.URL)
+	ctx := context.Background()
+
+	st, err := c.Chaos(ctx)
+	if err != nil || st.Enabled {
+		t.Fatalf("initial chaos state = %+v, err %v; want disabled", st, err)
+	}
+
+	if st, err = c.SetChaos(ctx, "err=1,seed=3"); err != nil || !st.Enabled {
+		t.Fatalf("SetChaos: %+v, %v", st, err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz must stay exempt under err=1: %v", err)
+	}
+	if _, err := c.Scenarios(ctx); err == nil {
+		t.Fatal("scenarios under err=1 succeeded")
+	}
+
+	// Disable; counters must persist (monotonic across swaps).
+	if st, err = c.SetChaos(ctx, ""); err != nil || st.Enabled {
+		t.Fatalf("disable: %+v, %v", st, err)
+	}
+	if st.Injected.Errors == 0 {
+		t.Fatalf("retired counters lost on swap: %+v", st.Injected)
+	}
+	if _, err := c.Scenarios(ctx); err != nil {
+		t.Fatalf("scenarios after disable: %v", err)
+	}
+
+	// A malformed spec is a 400.
+	if _, err := c.SetChaos(ctx, "err=2"); err == nil {
+		t.Fatal("SetChaos(err=2) succeeded")
+	}
+}
+
+func TestChaosMetricsAlwaysExported(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	c := chaosClient(ts.URL)
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range faultinject.Kinds() {
+		want := fmt.Sprintf("samie_chaos_injected_total{kind=%q} 0", k)
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	if _, err := c.SetChaos(context.Background(), "err=1,seed=9"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		http.Get(ts.URL + "/v1/scenarios")
+	}
+	if text, err = c.Metrics(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `samie_chaos_injected_total{kind="error"} 3`) {
+		t.Fatalf("metrics did not count injected errors:\n%s", text)
+	}
+	// Stats embeds the same view.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chaos.Injected.Errors != 3 || !st.Chaos.Enabled {
+		t.Fatalf("stats chaos block = %+v", st.Chaos)
+	}
+}
+
+func TestChaosLatencyDelays(t *testing.T) {
+	spec, _ := faultinject.ParseSpec("lat=30ms:30ms,seed=2")
+	s, ts, _ := newTestServer(t, Config{Chaos: spec})
+	begin := time.Now()
+	if _, err := chaosClient(ts.URL).Scenarios(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(begin); d < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms injected latency", d)
+	}
+	if c := s.chaosCounts(); c.Latencies == 0 {
+		t.Fatalf("latency did not count: %+v", c)
+	}
+}

@@ -15,6 +15,12 @@ import (
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		// Shutting down: answer 503 so load balancers and coordinators
+		// stop routing new work here while in-flight requests finish.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -161,15 +167,24 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	s.suiteSpecs.Add(int64(len(specs)))
 
 	emit := s.ndjsonEmitter(w, r)
+	ctx := r.Context()
 	var onDone func(res experiments.RunResult, done, total int)
 	if emit != nil {
+		// A draining server cancels the stream so the terminal error
+		// event below goes out while the connection is still writable.
+		var cancel context.CancelFunc
+		ctx, cancel = s.drainAware(ctx)
+		defer cancel()
 		onDone = func(res experiments.RunResult, done, total int) {
 			rr := runResponseFor(res.Spec, res)
 			emit(client.SuiteEvent{Type: "run", Run: &rr, Done: done, Total: total})
 		}
 	}
-	results, err := s.batch.RunEachCtx(r.Context(), specs, onDone)
+	results, err := s.batch.RunEachCtx(ctx, specs, onDone)
 	if err != nil {
+		if errors.Is(context.Cause(ctx), errDraining) {
+			err = errDraining
+		}
 		code := statusForError(err)
 		if code == http.StatusInternalServerError {
 			// A contained simulation failure, not a client that went
@@ -334,11 +349,17 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 
 	emit := s.ndjsonEmitter(w, r)
 	streaming := emit != nil
+	ctx := r.Context()
 
 	// The library sweep does the fan-out, cancellation and panic
 	// containment; the server only translates progress into NDJSON.
 	var onCell func(experiments.ScenarioProgress)
 	if emit != nil {
+		// As with suite streams: drain cancels the sweep so the error
+		// event below reaches the client before the listener closes.
+		var cancel context.CancelFunc
+		ctx, cancel = s.drainAware(ctx)
+		defer cancel()
 		onCell = func(p experiments.ScenarioProgress) {
 			emit(client.ScenarioEvent{
 				Type:      "cell",
@@ -351,8 +372,11 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	res, err := s.batch.ScenarioCtx(r.Context(), name, benchmarks, insts, onCell)
+	res, err := s.batch.ScenarioCtx(ctx, name, benchmarks, insts, onCell)
 	if err != nil {
+		if errors.Is(context.Cause(ctx), errDraining) {
+			err = errDraining
+		}
 		code := statusForError(err)
 		if code == http.StatusInternalServerError {
 			// A contained simulation failure, not a client that went

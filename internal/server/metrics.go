@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/faultinject"
 	"samielsq/pkg/client"
 )
 
@@ -34,6 +35,7 @@ func (s *Server) statsSnapshot() client.StatsResponse {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Goroutines:     runtime.NumGoroutine(),
 		HeapBytes:      mem.HeapAlloc,
+		Chaos:          s.chaosSnapshot(),
 	}
 }
 
@@ -96,6 +98,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP samie_store_peer_installs_total Peer-fetched results installed into the local disk cache.\n# TYPE samie_store_peer_installs_total counter\n")
 	fmt.Fprintf(w, "samie_store_peer_installs_total %d\n", st.Store.PeerInstalls)
+
+	// Chaos layer: always emitted (zeros when disabled) so monitoring
+	// and CI can assert on the family's presence unconditionally.
+	cc := s.chaosCounts()
+	fmt.Fprintf(w, "# HELP samie_chaos_injected_total Faults injected by the chaos layer, per kind.\n# TYPE samie_chaos_injected_total counter\n")
+	for _, k := range faultinject.Kinds() {
+		fmt.Fprintf(w, "samie_chaos_injected_total{kind=%q} %d\n", k, cc.Get(k))
+	}
 
 	h := st.Store.PeerFetch
 	fmt.Fprintf(w, "# HELP samie_store_peer_fetch_seconds Peer probe latency (hits and misses).\n# TYPE samie_store_peer_fetch_seconds histogram\n")

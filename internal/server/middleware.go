@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -41,6 +43,16 @@ func (w *statusWriter) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// Hijack passes through so the chaos layer can sever connections from
+// inside the logging wrapper.
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("server: response writer cannot hijack")
+	}
+	return hj.Hijack()
 }
 
 // withLogging emits one structured log line per request.
@@ -89,6 +101,14 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 // backpressure instead of an unbounded goroutine queue.
 func (s *Server) heavy(h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining() {
+			// New simulation work arriving on a draining process gets a
+			// retryable rejection before any headers or stream framing
+			// go out; only already-admitted requests ride out the grace
+			// window.
+			writeError(w, http.StatusServiceUnavailable, errDraining.Error())
+			return
+		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
@@ -155,6 +175,8 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 // anything else — a contained simulation failure — is a 500.
 func statusForError(err error) int {
 	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -25,6 +25,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/faultinject"
 	"samielsq/internal/trace"
 )
 
@@ -73,6 +76,11 @@ type Config struct {
 	CacheDir  string
 	Preloaded int
 
+	// Chaos is the initial fault-injection spec (the -chaos flag).
+	// The zero spec starts with injection disabled; POST /v1/chaos
+	// reconfigures it at runtime either way.
+	Chaos faultinject.Spec
+
 	// PeerAdopt, when non-nil, receives the sibling replica set a
 	// cluster coordinator supplies with a shard (SuiteRequest.Peers,
 	// this replica excluded) so the batch's tier-2 peer-fetch store
@@ -91,6 +99,14 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 	mux   *http.ServeMux
+	chaos chaosState
+
+	// drainCtx is canceled by BeginDrain: /healthz flips to 503 so load
+	// balancers stop routing here, and in-flight NDJSON streams are
+	// canceled so each emits a terminal error event while its
+	// connection is still writable.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 
 	served      atomic.Int64 // requests completed, all endpoints
 	throttled   atomic.Int64 // 429s issued
@@ -125,9 +141,13 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 		mux:   http.NewServeMux(),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	s.setChaos(cfg.Chaos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/chaos", s.handleChaosGet)
+	s.mux.HandleFunc("POST /v1/chaos", s.handleChaosSet)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	// The cache probe never simulates, so it bypasses the admission
 	// semaphore like the other cheap read-only endpoints.
@@ -143,8 +163,40 @@ func New(cfg Config) (*Server, error) {
 // Recovery sits inside logging so a panicking request is converted to
 // a 500 before the log line and served counter are emitted — a panic
 // must not produce client-visible 500s that monitoring never sees.
+// Chaos sits between them: injected faults show up in the request log
+// like real ones, and a fault never bypasses recovery for the
+// requests it lets through.
 func (s *Server) Handler() http.Handler {
-	return s.withLogging(s.withRecovery(s.mux))
+	return s.withLogging(s.withChaos(s.withRecovery(s.mux)))
+}
+
+// errDraining is the cause attached to stream contexts when the
+// process enters its shutdown drain: the stream cannot complete, the
+// client should re-request the undelivered work elsewhere.
+var errDraining = errors.New("server draining: stream aborted, re-request undelivered work")
+
+// BeginDrain flips the server into drain mode ahead of listener
+// shutdown: /healthz starts answering 503 (so orchestrators stop
+// routing new work here) and every in-flight NDJSON stream is canceled,
+// letting its handler deliver a terminal error event over the
+// still-open connection instead of vanishing mid-body. Idempotent;
+// there is no way back — a draining process is on its way out.
+func (s *Server) BeginDrain() {
+	s.drainCancel()
+}
+
+// draining reports whether BeginDrain has been called.
+func (s *Server) draining() bool {
+	return s.drainCtx.Err() != nil
+}
+
+// drainAware derives a stream's working context: canceled when the
+// client goes away (parent) or when the server begins draining, with
+// errDraining as the cause so the handler can tell the two apart.
+func (s *Server) drainAware(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(parent)
+	stop := context.AfterFunc(s.drainCtx, func() { cancel(errDraining) })
+	return ctx, func() { stop(); cancel(nil) }
 }
 
 // capInsts applies the server's default instruction budget and the

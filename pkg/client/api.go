@@ -293,6 +293,34 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Goroutines    int     `json:"goroutines"`
 	HeapBytes     uint64  `json:"heap_bytes"`
+
+	Chaos ChaosState `json:"chaos"`
+}
+
+// ChaosRequest is the POST /v1/chaos body: a fault spec in the -chaos
+// flag grammar (err=0.1,lat=5ms:50ms,reset=0.05,trunc=0.02,seed=42).
+// An empty spec disables injection.
+type ChaosRequest struct {
+	Spec string `json:"spec"`
+}
+
+// ChaosCounts are the per-kind injected-fault totals, monotonic across
+// runtime reconfigurations.
+type ChaosCounts struct {
+	Errors      int64 `json:"errors"`
+	Throttles   int64 `json:"throttles"`
+	Resets      int64 `json:"resets"`
+	Truncations int64 `json:"truncations"`
+	Latencies   int64 `json:"latencies"`
+	Total       int64 `json:"total"`
+}
+
+// ChaosState is the GET /v1/chaos body (also embedded in /v1/stats):
+// whether fault injection is live, under what spec, and what has fired.
+type ChaosState struct {
+	Enabled  bool        `json:"enabled"`
+	Spec     string      `json:"spec,omitempty"`
+	Injected ChaosCounts `json:"injected"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON error.

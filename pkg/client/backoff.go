@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// Backoff is the fleet-wide retry policy: capped exponential delays
+// with deterministic jitter, honoring server Retry-After hints. The
+// same policy drives client.send's transport retries, the cluster
+// coordinator's throttle waits, and the peer fetcher, so every
+// consumer backs off the same way.
+//
+// Jitter is a pure function of (Seed, key, attempt) — an FNV-1a hash
+// mapped to a fraction — so a given actor's schedule replays exactly
+// under test, while actors with different seeds (e.g. per-coordinator)
+// spread out instead of waking in lockstep when they all honor the
+// same Retry-After hint.
+type Backoff struct {
+	// Base is the first exponential delay; default 50ms.
+	Base time.Duration
+	// Cap bounds every delay, including Retry-After hints (a
+	// coordinator with a 20ms budget must not sleep the server's
+	// suggested 5s); default 15s.
+	Cap time.Duration
+	// Seed is the jitter identity. Two actors with different seeds
+	// jitter differently over the same keys and attempts.
+	Seed uint64
+}
+
+const (
+	defaultBackoffBase = 50 * time.Millisecond
+	defaultBackoffCap  = 15 * time.Second
+)
+
+// jitterFrac maps (seed, key, attempt) to a uniform fraction in [0, 1).
+func jitterFrac(seed uint64, key string, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	_, _ = h.Write(buf[:])
+	// Top 53 bits give a full-precision float64 fraction.
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// Delay returns the wait before retry `attempt` (0-based) of the
+// operation identified by key. A *APIError carrying a Retry-After hint
+// takes precedence over the exponential schedule: the wait is the
+// hint (capped) plus up to 25% deterministic jitter, so honoring the
+// hint never synchronizes a fleet. Other errors — or nil — get equal
+// jitter: half the capped exponential step fixed, half jittered.
+func (b Backoff) Delay(key string, attempt int, err error) time.Duration {
+	base, cp := b.Base, b.Cap
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if cp <= 0 {
+		cp = defaultBackoffCap
+	}
+	frac := jitterFrac(b.Seed, key, attempt)
+	if ae, ok := err.(*APIError); ok && ae.RetryAfter > 0 {
+		hint := min(ae.RetryAfter, cp)
+		return hint + time.Duration(frac*float64(hint)/4)
+	}
+	d := base
+	for i := 0; i < attempt && d < cp; i++ {
+		d *= 2
+	}
+	d = min(d, cp)
+	return d/2 + time.Duration(frac*float64(d)/2)
+}
+
+// Sleep waits out Delay for the attempt, returning early with ctx.Err()
+// on cancellation.
+func (b Backoff) Sleep(ctx context.Context, key string, attempt int, err error) error {
+	d := b.Delay(key, attempt, err)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	bo := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 42}
+	for attempt := 0; attempt < 5; attempt++ {
+		a := bo.Delay("replica-1", attempt, nil)
+		b := bo.Delay("replica-1", attempt, nil)
+		if a != b {
+			t.Fatalf("attempt %d: same (seed, key, attempt) gave %v then %v", attempt, a, b)
+		}
+	}
+	// Different seeds must de-synchronize at least one attempt.
+	other := bo
+	other.Seed = 43
+	same := true
+	for attempt := 0; attempt < 5; attempt++ {
+		if bo.Delay("replica-1", attempt, nil) != other.Delay("replica-1", attempt, nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 5-attempt schedules")
+	}
+}
+
+func TestBackoffExponentialCapped(t *testing.T) {
+	bo := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 1}
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := bo.Delay("k", attempt, nil)
+		// Equal jitter keeps each delay within [step/2, step] for the
+		// capped exponential step.
+		step := min(bo.Base<<attempt, bo.Cap)
+		if d < step/2 || d > step {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, step/2, step)
+		}
+		if d > bo.Cap {
+			t.Fatalf("attempt %d: delay %v exceeds cap %v", attempt, d, bo.Cap)
+		}
+		if step == bo.Cap && prevCeil == bo.Cap && d < step/2 {
+			t.Fatalf("capped delays regressed: %v", d)
+		}
+		prevCeil = step
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	bo := Backoff{Base: time.Millisecond, Cap: time.Second, Seed: 7}
+	err := &APIError{Status: http.StatusTooManyRequests, RetryAfter: 100 * time.Millisecond}
+	d := bo.Delay("k", 0, err)
+	if d < 100*time.Millisecond || d > 125*time.Millisecond {
+		t.Fatalf("Retry-After 100ms gave delay %v, want [100ms, 125ms]", d)
+	}
+	// The cap overrides an oversized hint: a 20ms budget must not
+	// sleep the server's suggested 5s.
+	tight := Backoff{Base: time.Millisecond, Cap: 20 * time.Millisecond, Seed: 7}
+	err.RetryAfter = 5 * time.Second
+	d = tight.Delay("k", 0, err)
+	if d > 25*time.Millisecond {
+		t.Fatalf("capped Retry-After gave delay %v, want <= 25ms", d)
+	}
+}
+
+func TestBackoffSleepCancel(t *testing.T) {
+	bo := Backoff{Base: time.Hour, Cap: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- bo.Sleep(ctx, "k", 0, nil) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Sleep returned nil after cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after cancel")
+	}
+}
+
+func TestSendRetriesTransportErrors(t *testing.T) {
+	// A server that resets the first two connections and then serves:
+	// send must survive via transport retries without the caller seeing
+	// any error.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj := w.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithBackoff(Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond}))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after two injected resets: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+func TestSendDoesNotRetryAPIErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithBackoff(Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond}))
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected an error from a 500")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls for a 500, want 1 (no retry above HTTP)", n)
+	}
+}

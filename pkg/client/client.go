@@ -17,8 +17,10 @@ import (
 // Client talks to a samie-serve instance. The zero value is not
 // usable; construct with New. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	bo      Backoff
+	retries int
 }
 
 // Option customizes a Client.
@@ -32,12 +34,29 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithBackoff substitutes the retry policy used for transport-level
+// retries (and inherited by the cluster coordinator when it builds
+// per-replica clients).
+func WithBackoff(bo Backoff) Option {
+	return func(c *Client) { c.bo = bo }
+}
+
+// WithTransportRetries sets how many times send re-issues a request
+// that failed below HTTP (connection refused/reset before a response).
+// Negative disables retries entirely; default 2.
+func WithTransportRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
 // New returns a client for the server at base, e.g.
 // "http://localhost:8344".
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}, retries: 2}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.retries < 0 {
+		c.retries = 0
 	}
 	return c
 }
@@ -83,25 +102,45 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 
 // send issues the request and converts non-2xx statuses into
 // *APIError; the caller owns the returned body.
+//
+// Failures below HTTP — connection refused, a reset before any
+// response — are retried up to c.retries times under the shared
+// backoff policy. A received response is never retried here, even a
+// 5xx: *APIError classification (and the cluster's failover logic) own
+// that layer, and streaming bodies that die mid-read are the stream
+// consumer's problem (see cluster.RunSpecs resume).
 func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		data, err = json.Marshal(in)
 		if err != nil {
 			return nil, fmt.Errorf("client: encoding %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = c.hc.Do(req)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= c.retries {
+			return nil, err
+		}
+		if serr := c.bo.Sleep(ctx, path, attempt, err); serr != nil {
+			return nil, err
+		}
 	}
 	if resp.StatusCode/100 == 2 {
 		return resp, nil
@@ -112,11 +151,11 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 		ae.RetryAfter = d
 	}
 	var er ErrorResponse
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
 		ae.Message = er.Error
 	} else {
-		ae.Message = strings.TrimSpace(string(data))
+		ae.Message = strings.TrimSpace(string(raw))
 	}
 	if ae.Message == "" {
 		ae.Message = resp.Status
@@ -287,6 +326,22 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 // Health probes /healthz; nil means the server is up and serving.
 func (c *Client) Health(ctx context.Context) error {
 	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Chaos reports the server's fault-injection state and fired-fault
+// counters.
+func (c *Client) Chaos(ctx context.Context) (ChaosState, error) {
+	var out ChaosState
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/chaos", nil, &out)
+	return out, err
+}
+
+// SetChaos reconfigures the server's fault injection at runtime; an
+// empty spec disables it. Returns the resulting state.
+func (c *Client) SetChaos(ctx context.Context, spec string) (ChaosState, error) {
+	var out ChaosState
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/chaos", ChaosRequest{Spec: spec}, &out)
+	return out, err
 }
 
 // Metrics fetches the raw Prometheus exposition text.

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b := newBreakerSet(2, time.Hour)
+	if ok, probe := b.state("r"); !ok || probe {
+		t.Fatalf("fresh replica state = (%v, %v)", ok, probe)
+	}
+	b.failure("r")
+	if ok, _ := b.state("r"); !ok {
+		t.Fatal("one failure below the threshold tripped the breaker")
+	}
+	b.failure("r")
+	if ok, _ := b.state("r"); ok {
+		t.Fatal("two consecutive failures did not trip the breaker")
+	}
+	if trips, open := b.snapshot(); trips != 1 || open != 1 {
+		t.Fatalf("snapshot = (%d trips, %d open), want (1, 1)", trips, open)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreakerSet(2, time.Hour)
+	b.failure("r")
+	b.success("r")
+	b.failure("r")
+	if ok, _ := b.state("r"); !ok {
+		t.Fatal("interleaved successes should keep the streak below the threshold")
+	}
+}
+
+func TestBreakerHalfOpenAndRecovery(t *testing.T) {
+	b := newBreakerSet(1, 20*time.Millisecond)
+	b.failure("r")
+	if ok, _ := b.state("r"); ok {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	time.Sleep(30 * time.Millisecond)
+	ok, probe := b.state("r")
+	if !ok || !probe {
+		t.Fatalf("after the cooldown state = (%v, %v), want half-open (true, true)", ok, probe)
+	}
+	// A failed half-open probe re-opens for another full cooldown.
+	b.failure("r")
+	if ok, _ := b.state("r"); ok {
+		t.Fatal("failed half-open probe readmitted the replica")
+	}
+	time.Sleep(30 * time.Millisecond)
+	// A successful probe closes it for good.
+	b.success("r")
+	if ok, probe := b.state("r"); !ok || probe {
+		t.Fatalf("after recovery state = (%v, %v), want closed (true, false)", ok, probe)
+	}
+	if trips, open := b.snapshot(); trips != 1 || open != 0 {
+		t.Fatalf("snapshot = (%d trips, %d open), want (1, 0)", trips, open)
+	}
+}
+
+func TestBreakerResetForgetsState(t *testing.T) {
+	b := newBreakerSet(1, time.Hour)
+	b.failure("r")
+	b.reset()
+	if ok, probe := b.state("r"); !ok || probe {
+		t.Fatalf("after reset state = (%v, %v), want closed", ok, probe)
+	}
+}

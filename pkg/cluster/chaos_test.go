@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"samielsq/internal/experiments"
+	"samielsq/internal/faultinject"
+	"samielsq/internal/server"
+	"samielsq/pkg/client"
+)
+
+// bootChaosReplica boots a replica with fault injection enabled,
+// returning its URL, batch, and server handle (for chaos accounting
+// and runtime reconfiguration).
+func bootChaosReplica(t *testing.T, workers int, spec string) (string, *experiments.Batch, *server.Server) {
+	t.Helper()
+	cspec, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := experiments.NewBatch(workers)
+	s, err := server.New(server.Config{
+		Batch:        batch,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultInsts: 5_000,
+		Chaos:        cspec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, batch, s
+}
+
+// TestRunSpecsResumesTruncatedStreams is the stream-resume contract:
+// with every suite stream truncated mid-body, the sweep must finish by
+// re-requesting only undelivered specs from the same replica — which
+// memoized the work it kept computing past the cut — so each spec
+// still executes exactly once.
+func TestRunSpecsResumesTruncatedStreams(t *testing.T) {
+	url, batch, srv := bootChaosReplica(t, 2, "trunc=1,seed=11")
+	c, err := New([]string{url},
+		WithQuarantine(50*time.Millisecond),
+		WithBackoffSeed(1),
+		WithMaxRetryWait(50*time.Millisecond),
+		WithRetryBudget(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough specs that the NDJSON body always exceeds the truncation
+	// cut (drawn in [256B, 8KiB]), so the first attempt is guaranteed to
+	// be severed mid-stream.
+	specs := make([]experiments.RunSpec, 0, 60)
+	for i := 0; i < 60; i++ {
+		specs = append(specs, experiments.RunSpec{
+			Benchmark: "gzip", Insts: 5_000, Model: experiments.ModelConventional,
+			ConvEntries: 8 + i,
+		})
+	}
+	results, err := c.RunSpecs(context.Background(), specs, nil)
+	if err != nil {
+		t.Fatalf("sweep under truncation: %v (stats %+v)", err, c.SweepStats())
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	if got := batch.Stats().Executed; got != int64(len(specs)) {
+		t.Fatalf("replica executed %d simulations, want exactly %d (resume must not re-execute)", got, len(specs))
+	}
+	st := c.SweepStats()
+	if st.Resumes == 0 {
+		t.Fatalf("no stream resumes recorded under trunc=0.7: %+v (injected %+v)", st, srv.ChaosCounts())
+	}
+	if st.RetriesUsed == 0 || st.RetriesUsed > st.RetryBudget {
+		t.Fatalf("implausible budget accounting: %+v", st)
+	}
+}
+
+// TestRunSpecsRetryBudgetExhaustion: a sweep against a replica that
+// can never deliver a full stream must fail with budget accounting in
+// the error instead of spinning forever.
+func TestRunSpecsRetryBudgetExhaustion(t *testing.T) {
+	// Every response dies before the first byte: resume can never make
+	// progress.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte("ok"))
+			return
+		}
+		calls.Add(1)
+		hj := w.(http.Hijacker)
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	c, err := New([]string{ts.URL},
+		WithQuarantine(10*time.Millisecond),
+		WithRetryBudget(3),
+		WithBackoffSeed(1),
+		WithMaxRetryWait(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the per-replica client backoff so the test runs fast.
+	for rep := range c.clients {
+		c.clients[rep] = client.New(rep,
+			client.WithBackoff(client.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond}),
+			client.WithTransportRetries(0))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = c.RunSpecs(ctx, []experiments.RunSpec{
+		{Benchmark: "gzip", Insts: 5_000, Model: experiments.ModelSAMIE},
+	}, nil)
+	if err == nil {
+		t.Fatal("sweep against a dead-stream replica succeeded")
+	}
+	st := c.SweepStats()
+	if st.RetriesUsed == 0 {
+		t.Fatalf("budget never consumed: %+v (err %v)", st, err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("replica never saw a suite request")
+	}
+}
+
+// TestPeerFetchUnderChaos: injected peer-side truncation and resets
+// must degrade to a miss — a partial body is never installed — while
+// full bodies that slip through untruncated remain valid hits.
+func TestPeerFetchUnderChaos(t *testing.T) {
+	urlA, batchA, srv := bootChaosReplica(t, 1, "trunc=1,seed=5")
+	// Warm the peer with real results under several keys.
+	specs := make([]experiments.RunSpec, 0, 20)
+	for i := 0; i < 20; i++ {
+		specs = append(specs, experiments.RunSpec{
+			Benchmark: "gzip", Insts: 5_000, Model: experiments.ModelConventional,
+			ConvEntries: 8 + i,
+		})
+	}
+	want := map[string]experiments.RunResult{}
+	for _, s := range specs {
+		want[experiments.Key(s)] = batchA.Run(s)
+	}
+
+	p := NewPeerFetcher([]string{urlA}, WithPeerBreakerThreshold(1000)) // keep probing through the chaos
+	hits := 0
+	for _, s := range specs {
+		key := experiments.Key(s)
+		res, ok := p.Fetch(context.Background(), key)
+		if !ok {
+			continue // degraded to a miss; the caller would simulate
+		}
+		hits++
+		w := want[key]
+		if res.CPU != w.CPU || *res.Meter != *w.Meter {
+			t.Fatalf("peer fetch under truncation installed a wrong result for %s", key)
+		}
+	}
+	if c := srv.ChaosCounts(); c.Truncations == 0 {
+		t.Fatalf("no truncation fired across 20 probes: %+v (hits %d)", c, hits)
+	}
+
+	// Pure resets: every probe must degrade to a miss.
+	urlB, batchB, _ := bootChaosReplica(t, 1, "reset=1,seed=3")
+	specB := peerTestSpec()
+	batchB.Run(specB)
+	pb := NewPeerFetcher([]string{urlB}, WithPeerBreakerThreshold(1000))
+	if _, ok := pb.Fetch(context.Background(), experiments.Key(specB)); ok {
+		t.Fatal("a reset-severed probe reported a hit")
+	}
+}
+
+// TestPeerFetcherBreakerTripAndRecovery: repeated transport failures
+// trip the peer breaker (probes stop reaching the peer), and the
+// half-open probe readmits it once it recovers.
+func TestPeerFetcherBreakerTripAndRecovery(t *testing.T) {
+	var dead atomic.Bool
+	var reqs atomic.Int64
+	backend, batch, _ := func() (http.Handler, *experiments.Batch, *server.Server) {
+		batch := experiments.NewBatch(1)
+		s, err := server.New(server.Config{
+			Batch:        batch,
+			Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+			DefaultInsts: 5_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Handler(), batch, s
+	}()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		if dead.Load() {
+			hj := w.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	spec := peerTestSpec()
+	wantRes := batch.Run(spec)
+	key := experiments.Key(spec)
+
+	p := NewPeerFetcher([]string{ts.URL}, WithPeerQuarantine(30*time.Millisecond))
+
+	// Two consecutive transport failures trip the breaker.
+	dead.Store(true)
+	p.Fetch(context.Background(), key)
+	p.Fetch(context.Background(), key)
+	seen := reqs.Load()
+	// Open breaker: the next fetch must not touch the peer at all.
+	if _, ok := p.Fetch(context.Background(), key); ok {
+		t.Fatal("open-breaker fetch reported a hit")
+	}
+	if reqs.Load() != seen {
+		t.Fatal("open breaker still sent a probe to the dead peer")
+	}
+
+	// Recovery: cooldown lapses, the half-open probe finds the peer
+	// healthy again, and fetches flow.
+	dead.Store(false)
+	time.Sleep(50 * time.Millisecond)
+	res, ok := p.Fetch(context.Background(), key)
+	if !ok {
+		t.Fatal("half-open probe against a recovered peer missed")
+	}
+	if res.CPU != wantRes.CPU {
+		t.Fatal("recovered peer served a wrong result")
+	}
+	// Breaker is closed again: no cooldown before the next hit.
+	if _, ok := p.Fetch(context.Background(), key); !ok {
+		t.Fatal("closed-breaker fetch missed")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -18,18 +19,20 @@ import (
 // single-replica pkg/client.Client, so `samie-bench -server` accepts a
 // comma-separated replica list unchanged. Each request routes to the
 // rendezvous owner of its canonical key — repeated requests for the
-// same work always land on the same warm replica — with per-replica
-// health quarantine, 429/Retry-After-aware retry, and failover down
+// same work always land on the same warm replica — with a per-replica
+// circuit breaker (consecutive failures trip, half-open health probe
+// readmits), 429/Retry-After-aware jittered retry, and failover down
 // the key's weight ranking. Safe for concurrent use.
 type ShardedClient struct {
-	ring         *Rendezvous
-	clients      map[string]*client.Client
-	quarantine   time.Duration
-	maxRetryWait time.Duration
-	retries429   int
+	ring        *Rendezvous
+	clients     map[string]*client.Client
+	breakers    *breakerSet
+	bo          client.Backoff
+	retries429  int
+	retryBudget int
 
-	mu        sync.Mutex
-	downUntil map[string]time.Time
+	sweepMu   sync.Mutex
+	lastSweep SweepStats
 }
 
 // Option customizes a ShardedClient.
@@ -44,16 +47,48 @@ func WithHTTPClient(hc *http.Client) Option {
 	}
 }
 
-// WithQuarantine sets how long a failed replica is skipped before the
-// fabric probes it again; default 3s.
+// WithQuarantine sets how long a tripped breaker stays open before its
+// half-open probe; default 3s. (The name predates the breaker: the
+// open state is what the old quarantine timer became.)
 func WithQuarantine(d time.Duration) Option {
-	return func(c *ShardedClient) { c.quarantine = d }
+	return func(c *ShardedClient) { c.breakers.cooldown = d }
 }
 
-// WithMaxRetryWait caps how long a 429's Retry-After hint is honored
-// before the request fails over anyway; default 15s.
+// WithBreakerThreshold sets how many consecutive failures trip a
+// replica's breaker; default 2, so one flaky exchange never exiles a
+// healthy replica. 1 restores trip-on-first-failure.
+func WithBreakerThreshold(n int) Option {
+	return func(c *ShardedClient) {
+		if n >= 1 {
+			c.breakers.threshold = n
+		}
+	}
+}
+
+// WithMaxRetryWait caps every backoff sleep, including how long a
+// 429's Retry-After hint is honored before the request fails over
+// anyway; default 15s.
 func WithMaxRetryWait(d time.Duration) Option {
-	return func(c *ShardedClient) { c.maxRetryWait = d }
+	return func(c *ShardedClient) { c.bo.Cap = d }
+}
+
+// WithBackoffSeed pins the deterministic-jitter identity (tests, or
+// operators who want distinct coordinators spread explicitly). The
+// default derives from the process, so coordinators honoring the same
+// Retry-After hint wake staggered instead of in lockstep.
+func WithBackoffSeed(seed uint64) Option {
+	return func(c *ShardedClient) { c.bo.Seed = seed }
+}
+
+// WithRetryBudget bounds the total number of shard retries (stream
+// resumes, re-shards after replica loss, throttle rounds) one RunSpecs
+// sweep may spend before giving up; default 32. See SweepStats.
+func WithRetryBudget(n int) Option {
+	return func(c *ShardedClient) {
+		if n >= 0 {
+			c.retryBudget = n
+		}
+	}
 }
 
 // New builds the fabric over the replica base URLs (e.g.
@@ -71,12 +106,12 @@ func New(replicas []string, opts ...Option) (*ShardedClient, error) {
 		return nil, fmt.Errorf("cluster: at least one replica URL is required")
 	}
 	c := &ShardedClient{
-		ring:         ring,
-		clients:      map[string]*client.Client{},
-		quarantine:   3 * time.Second,
-		maxRetryWait: 15 * time.Second,
-		retries429:   2,
-		downUntil:    map[string]time.Time{},
+		ring:        ring,
+		clients:     map[string]*client.Client{},
+		breakers:    newBreakerSet(2, 3*time.Second),
+		bo:          client.Backoff{Cap: 15 * time.Second, Seed: processSeed()},
+		retries429:  2,
+		retryBudget: 32,
 	}
 	for _, rep := range ring.Replicas() {
 		c.clients[rep] = client.New(rep)
@@ -87,44 +122,39 @@ func New(replicas []string, opts ...Option) (*ShardedClient, error) {
 	return c, nil
 }
 
+// processSeed derives a per-coordinator jitter identity, so separate
+// coordinator processes de-synchronize even when configured
+// identically. Within one process the schedule is deterministic.
+func processSeed() uint64 {
+	return uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())
+}
+
 // Verify the fabric keeps satisfying the shared driver surface.
 var _ client.API = (*ShardedClient)(nil)
 
 // Replicas returns the configured replica URLs, sorted.
 func (c *ShardedClient) Replicas() []string { return c.ring.Replicas() }
 
-// markDown quarantines a replica after a transport or server failure.
+// markDown records a failed exchange with a replica; enough
+// consecutive failures trip its breaker.
 func (c *ShardedClient) markDown(rep string) {
-	c.mu.Lock()
-	c.downUntil[rep] = time.Now().Add(c.quarantine)
-	c.mu.Unlock()
+	c.breakers.failure(rep)
 }
 
-// markUp clears a replica's quarantine after a successful exchange.
+// markUp closes a replica's breaker after a successful exchange.
 func (c *ShardedClient) markUp(rep string) {
-	c.mu.Lock()
-	delete(c.downUntil, rep)
-	c.mu.Unlock()
+	c.breakers.success(rep)
 }
 
 // replicaState reports whether a replica is currently usable and
 // whether it should be health-probed before carrying a real request
-// (its quarantine just expired).
+// (its breaker is half-open).
 func (c *ShardedClient) replicaState(rep string) (usable, probeFirst bool) {
-	c.mu.Lock()
-	until, down := c.downUntil[rep]
-	c.mu.Unlock()
-	if !down {
-		return true, false
-	}
-	if time.Now().After(until) {
-		return true, true
-	}
-	return false, false
+	return c.breakers.state(rep)
 }
 
 // candidates returns the failover order for key restricted to usable
-// replicas; when everything is quarantined it returns the full ranking
+// replicas; when every breaker is open it returns the full ranking
 // (trying a possibly-dead replica beats failing without trying).
 func (c *ShardedClient) candidates(key string) []string {
 	ranked := c.ring.Ranked(key)
@@ -140,12 +170,12 @@ func (c *ShardedClient) candidates(key string) []string {
 	return usable
 }
 
-// reprobe applies the quarantine-expiry policy for one replica: when
-// its quarantine just lapsed, a /healthz probe decides readmission
-// (markUp) or renewed quarantine (markDown, returning the probe
-// error). Both routing walks — do and healthyCandidate — share this,
-// so the policy lives in one place. Callers decide separately whether
-// a still-quarantined replica may be tried at all.
+// reprobe applies the half-open policy for one replica: when its
+// breaker's cooldown just lapsed, a /healthz probe decides readmission
+// (markUp, closing the breaker) or re-opening (markDown, returning the
+// probe error). Both routing walks — do and healthyCandidate — share
+// this, so the policy lives in one place. Callers decide separately
+// whether a replica with an open breaker may be tried at all.
 func (c *ShardedClient) reprobe(ctx context.Context, rep string) error {
 	if _, probe := c.replicaState(rep); !probe {
 		return nil
@@ -185,28 +215,17 @@ func permanent(err error) bool {
 	return errors.As(err, &ae) && ae.Status/100 == 4 && ae.Status != http.StatusTooManyRequests
 }
 
-// backoff sleeps for a 429's Retry-After hint, bounded by
-// maxRetryWait, respecting ctx. The hint is APIError.RetryAfter, which
+// backoff sleeps before retrying rep, under the shared client.Backoff
+// policy: a 429's Retry-After hint is honored (bounded by
+// WithMaxRetryWait) with deterministic jitter layered on top, so N
+// coordinators given the same hint wake staggered instead of
+// re-stampeding the replica in lockstep; other errors get the capped
+// exponential schedule. The hint is APIError.RetryAfter, which
 // pkg/client stamps through its single client.ParseRetryAfter parser
 // (delta-seconds and HTTP-date forms, clamped non-negative) — the
 // fabric never re-reads headers itself.
-func (c *ShardedClient) backoff(ctx context.Context, err error) error {
-	wait := time.Second
-	var ae *client.APIError
-	if errors.As(err, &ae) && ae.RetryAfter > 0 {
-		wait = ae.RetryAfter
-	}
-	if wait > c.maxRetryWait {
-		wait = c.maxRetryWait
-	}
-	t := time.NewTimer(wait)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+func (c *ShardedClient) backoff(ctx context.Context, rep string, attempt int, err error) error {
+	return c.bo.Sleep(ctx, rep, attempt, err)
 }
 
 // do routes one request: try the key's replicas in weight order,
@@ -236,14 +255,14 @@ func (c *ShardedClient) do(ctx context.Context, key string, f func(cl *client.Cl
 			if client.IsThrottled(err) && attempt < c.retries429 {
 				// Saturated, not dead: the replica asked us to come
 				// back. Honor the hint before failing over.
-				if werr := c.backoff(ctx, err); werr != nil {
+				if werr := c.backoff(ctx, rep, attempt, err); werr != nil {
 					return werr
 				}
 				continue
 			}
 			// Transport failure, server error, or an exhausted 429
-			// budget: quarantine and fall through to the next-ranked
-			// replica.
+			// budget: count it against the breaker and fall through to
+			// the next-ranked replica.
 			if !client.IsThrottled(err) {
 				c.markDown(rep)
 			}

@@ -23,18 +23,20 @@ import (
 // cache. Unreachable, slow, empty-handed or build-skewed peers all
 // degrade to a miss: the caller simulates, it never fails.
 //
-// A peer that errors at the transport level is quarantined briefly so
-// a dead replica does not tax every subsequent miss with a connect
-// timeout. Safe for concurrent use; SetPeers may retarget it live.
+// A peer that keeps failing at the transport level trips its circuit
+// breaker (the same consecutive-failure → open → half-open policy the
+// coordinator applies to replicas) so a dead sibling does not tax
+// every subsequent miss with a connect timeout, while one flaky probe
+// — a chaos-injected reset or truncation — costs nothing. Safe for
+// concurrent use; SetPeers may retarget it live.
 type PeerFetcher struct {
-	timeout    time.Duration
-	quarantine time.Duration
-	hc         *http.Client
+	timeout time.Duration
+	hc      *http.Client
 
-	mu        sync.RWMutex
-	ring      *Rendezvous
-	clients   map[string]*client.Client
-	downUntil map[string]time.Time
+	mu       sync.RWMutex
+	ring     *Rendezvous
+	clients  map[string]*client.Client
+	breakers *breakerSet
 }
 
 // PeerOption customizes a PeerFetcher.
@@ -47,10 +49,20 @@ func WithPeerTimeout(d time.Duration) PeerOption {
 	return func(p *PeerFetcher) { p.timeout = d }
 }
 
-// WithPeerQuarantine sets how long a transport-failed peer is skipped
-// before being probed again; default 15s.
+// WithPeerQuarantine sets how long a tripped peer breaker stays open
+// before its half-open probe; default 15s.
 func WithPeerQuarantine(d time.Duration) PeerOption {
-	return func(p *PeerFetcher) { p.quarantine = d }
+	return func(p *PeerFetcher) { p.breakers.cooldown = d }
+}
+
+// WithPeerBreakerThreshold sets how many consecutive transport
+// failures trip a peer's breaker; default 2.
+func WithPeerBreakerThreshold(n int) PeerOption {
+	return func(p *PeerFetcher) {
+		if n >= 1 {
+			p.breakers.threshold = n
+		}
+	}
 }
 
 // WithPeerHTTPClient substitutes the *http.Client used for probes.
@@ -64,10 +76,9 @@ func WithPeerHTTPClient(hc *http.Client) PeerOption {
 // supplies replicas (e.g. adopted from a coordinator).
 func NewPeerFetcher(peers []string, opts ...PeerOption) *PeerFetcher {
 	p := &PeerFetcher{
-		timeout:    3 * time.Second,
-		quarantine: 15 * time.Second,
-		hc:         &http.Client{},
-		downUntil:  map[string]time.Time{},
+		timeout:  3 * time.Second,
+		hc:       &http.Client{},
+		breakers: newBreakerSet(2, 15*time.Second),
 	}
 	for _, o := range opts {
 		o(p)
@@ -100,7 +111,7 @@ func (p *PeerFetcher) SetPeers(peers []string) {
 		clients[rep] = client.New(rep, client.WithHTTPClient(p.hc))
 	}
 	p.ring, p.clients = ring, clients
-	p.downUntil = map[string]time.Time{}
+	p.breakers.reset()
 }
 
 // Peers returns the current sibling set, sorted.
@@ -110,26 +121,22 @@ func (p *PeerFetcher) Peers() []string {
 	return p.ring.Replicas()
 }
 
-// usable reports whether a peer is outside its quarantine window.
-func (p *PeerFetcher) usable(rep string, now time.Time) bool {
-	p.mu.RLock()
-	until, down := p.downUntil[rep]
-	p.mu.RUnlock()
-	return !down || now.After(until)
+// usable reports whether a peer's breaker admits a probe (closed or
+// half-open; the probe itself is the half-open trial).
+func (p *PeerFetcher) usable(rep string) bool {
+	ok, _ := p.breakers.state(rep)
+	return ok
 }
 
-// markDown quarantines a peer after a transport failure.
+// markDown records a transport failure; enough consecutive ones trip
+// the peer's breaker.
 func (p *PeerFetcher) markDown(rep string) {
-	p.mu.Lock()
-	p.downUntil[rep] = time.Now().Add(p.quarantine)
-	p.mu.Unlock()
+	p.breakers.failure(rep)
 }
 
-// markUp clears a peer's quarantine after any completed exchange.
+// markUp closes a peer's breaker after any completed exchange.
 func (p *PeerFetcher) markUp(rep string) {
-	p.mu.Lock()
-	delete(p.downUntil, rep)
-	p.mu.Unlock()
+	p.breakers.success(rep)
 }
 
 // Fetch probes the sibling replicas for key, best-ranked first,
@@ -139,9 +146,8 @@ func (p *PeerFetcher) Fetch(ctx context.Context, key string) (experiments.RunRes
 	p.mu.RLock()
 	ring, clients := p.ring, p.clients
 	p.mu.RUnlock()
-	now := time.Now()
 	for _, rep := range ring.Ranked(key) {
-		if !p.usable(rep, now) {
+		if !p.usable(rep) {
 			continue
 		}
 		pctx, cancel := ctx, context.CancelFunc(func() {})

@@ -133,11 +133,14 @@ func TestPeerFetcherTimeoutDegradesToMiss(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Errorf("hung peer held the fetch for %s; the per-probe timeout should bound it", elapsed)
 	}
-	// The dead peer is quarantined: the next miss does not wait on it.
-	start = time.Now()
+	// A second consecutive timeout trips the peer's breaker (default
+	// threshold 2)...
 	p.Fetch(context.Background(), "another-key")
+	// ...so the next miss skips the dead peer without waiting on it.
+	start = time.Now()
+	p.Fetch(context.Background(), "third-key")
 	if elapsed := time.Since(start); elapsed > 25*time.Millisecond {
-		t.Errorf("quarantined peer re-probed immediately (fetch took %s)", elapsed)
+		t.Errorf("tripped peer re-probed immediately (fetch took %s)", elapsed)
 	}
 }
 

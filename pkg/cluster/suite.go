@@ -28,17 +28,71 @@ type Progress struct {
 // A var so tests can exercise multi-chunk shards cheaply.
 var shardChunk = 64
 
+// maxStreamResumes bounds how many times one replica's severed shard
+// stream is resumed in place (re-requesting only undelivered specs
+// from the same replica) before the replica is declared lost and its
+// breaker takes the failure.
+const maxStreamResumes = 4
+
+// SweepStats is the retry/round accounting for one RunSpecs sweep —
+// the diagnosable numbers behind "the sweep is slow/stalled".
+type SweepStats struct {
+	Rounds        int   `json:"rounds"`         // planning rounds (1 = failure-free)
+	Resumes       int   `json:"resumes"`        // same-replica stream resumes
+	ThrottleWaits int   `json:"throttle_waits"` // rounds spent honoring Retry-After
+	RetriesUsed   int   `json:"retries_used"`   // budget consumed (resumes + re-shard rounds)
+	RetryBudget   int   `json:"retry_budget"`   // configured per-sweep budget
+	BreakerTrips  int64 `json:"breaker_trips"`  // breakers tripped during the sweep
+}
+
+// sweepState tracks one sweep's retry budget and statistics.
+type sweepState struct {
+	mu     sync.Mutex
+	stats  SweepStats
+	budget int
+}
+
+// spend consumes n units of the retry budget, returning false when the
+// budget is exhausted.
+func (s *sweepState) spend(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget < n {
+		return false
+	}
+	s.budget -= n
+	s.stats.RetriesUsed += n
+	return true
+}
+
+// SweepStats returns the accounting of the most recently completed
+// RunSpecs sweep (also the one behind Suite/Scenario).
+func (c *ShardedClient) SweepStats() SweepStats {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	return c.lastSweep
+}
+
 // RunSpecs executes an explicit spec set across the cluster: each spec
 // is assigned to the rendezvous owner of its canonical key, every
 // replica receives its shard as a sequence of bounded POST /v1/suite
-// requests, and results stream back as the simulations complete. A
-// replica that fails mid-shard is quarantined and its remaining specs
-// re-shard onto the survivors — completed runs are never re-requested
-// — so a sweep survives losing replicas as long as one stays up. A
-// merely saturated replica (429) is not quarantined: its Retry-After
-// hint is honored before the work is re-planned. onProgress, when
-// non-nil, observes every completed run from a single goroutine.
-// Results are keyed by canonical spec key.
+// requests, and results stream back as the simulations complete.
+//
+// A shard stream that dies mid-body (reset, truncation) is first
+// resumed in place: only the undelivered specs are re-requested from
+// the same replica — which has kept simulating and memoized them, so
+// the resume drains as cache hits and cluster-wide Executed accounting
+// stays exactly-once. Only after maxStreamResumes consecutive dead
+// streams is the replica declared lost: its breaker takes the failure
+// and the remaining specs re-shard onto the survivors — completed runs
+// are never re-requested — so a sweep survives losing replicas as long
+// as one stays up. A merely saturated replica (429) is not penalized:
+// its Retry-After hint is honored (jittered) before the work is
+// re-planned. Every resume and every re-shard round draws from the
+// per-sweep retry budget (WithRetryBudget), so a pathological fleet
+// fails loudly with accounting (SweepStats) instead of spinning.
+// onProgress, when non-nil, observes every completed run from a single
+// goroutine. Results are keyed by canonical spec key.
 func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpec, onProgress func(Progress)) (map[string]client.RunResponse, error) {
 	pending := make(map[string]experiments.RunSpec, len(specs))
 	for _, s := range specs {
@@ -47,6 +101,20 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 	total := len(pending)
 	results := make(map[string]client.RunResponse, total)
 	var mu sync.Mutex // guards pending + results + onProgress
+
+	sweep := &sweepState{budget: c.retryBudget}
+	sweep.stats.RetryBudget = c.retryBudget
+	tripsBefore, _ := c.breakers.snapshot()
+	defer func() {
+		trips, _ := c.breakers.snapshot()
+		sweep.mu.Lock()
+		sweep.stats.BreakerTrips = trips - tripsBefore
+		st := sweep.stats
+		sweep.mu.Unlock()
+		c.sweepMu.Lock()
+		c.lastSweep = st
+		c.sweepMu.Unlock()
+	}()
 
 	// Stall accounting: rounds that fail for cause (dead replicas) get
 	// a short budget; rounds shed with 429 + Retry-After are the
@@ -58,11 +126,28 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		sweep.mu.Lock()
+		sweep.stats.Rounds++
+		firstRound := sweep.stats.Rounds == 1
+		sweep.mu.Unlock()
+		// Re-shard rounds (everything after the first plan) spend
+		// retry budget: a sweep that keeps re-planning is retrying.
+		if !firstRound && !sweep.spend(1) {
+			mu.Lock()
+			remaining := len(pending)
+			mu.Unlock()
+			return nil, fmt.Errorf("cluster: sweep retry budget (%d) exhausted with %d of %d specs undone (%s)",
+				c.retryBudget, remaining, total, sweepDebug(sweep))
+		}
 		// Plan this round's shards: every pending spec goes to its
 		// highest-ranked usable replica. Shards are disjoint, so in the
 		// failure-free case each distinct spec executes exactly once
 		// cluster-wide.
-		shards := map[string][]client.RunRequest{}
+		type shardItem struct {
+			key string
+			req client.RunRequest
+		}
+		shards := map[string][]shardItem{}
 		mu.Lock()
 		keys := make([]string, 0, len(pending))
 		for key := range pending {
@@ -71,7 +156,7 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		sort.Strings(keys) // deterministic shard bodies
 		for _, key := range keys {
 			rep := c.healthyCandidate(ctx, key)
-			shards[rep] = append(shards[rep], client.RequestFor(pending[key]))
+			shards[rep] = append(shards[rep], shardItem{key: key, req: client.RequestFor(pending[key])})
 		}
 		before := len(pending)
 		mu.Unlock()
@@ -81,7 +166,7 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		var lastErr, fatalErr, throttleErr error
 		for rep, shard := range shards {
 			wg.Add(1)
-			go func(rep string, shard []client.RunRequest) {
+			go func(rep string, shard []shardItem) {
 				defer wg.Done()
 				onEvent := func(ev client.SuiteEvent) {
 					if ev.Type != "run" || ev.Run == nil {
@@ -102,39 +187,80 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 						onProgress(Progress{Replica: rep, Key: key, Done: len(results), Total: total})
 					}
 				}
+				// undelivered filters a chunk down to the specs whose
+				// results have not yet arrived on any stream.
+				undelivered := func(chunk []shardItem) []client.RunRequest {
+					mu.Lock()
+					defer mu.Unlock()
+					reqs := make([]client.RunRequest, 0, len(chunk))
+					for _, it := range chunk {
+						if _, want := pending[it.key]; want {
+							reqs = append(reqs, it.req)
+						}
+					}
+					return reqs
+				}
 				peers := c.peersFor(rep)
+				resumes := 0
 				for start := 0; start < len(shard); start += shardChunk {
 					end := min(start+shardChunk, len(shard))
-					_, err := c.clients[rep].Suite(ctx, client.SuiteRequest{Specs: shard[start:end], Peers: peers}, onEvent)
-					if err == nil {
-						continue
-					}
-					if ctx.Err() != nil {
+					chunk := shard[start:end]
+					for {
+						reqs := undelivered(chunk)
+						if len(reqs) == 0 {
+							break
+						}
+						_, err := c.clients[rep].Suite(ctx, client.SuiteRequest{Specs: reqs, Peers: peers}, onEvent)
+						if err == nil {
+							break
+						}
+						if ctx.Err() != nil {
+							return
+						}
+						if permanent(err) {
+							// The chunk itself was rejected (4xx): no
+							// replica will answer differently, so fail the
+							// sweep fast instead of penalizing healthy
+							// replicas and re-sending a doomed request.
+							errsMu.Lock()
+							if fatalErr == nil {
+								fatalErr = fmt.Errorf("%s rejected the shard: %w", rep, err)
+							}
+							errsMu.Unlock()
+							return
+						}
+						if client.IsThrottled(err) {
+							// Saturated, not dead: keep the replica in the
+							// ring and let the round honor its hint.
+							errsMu.Lock()
+							throttleErr = err
+							errsMu.Unlock()
+							return
+						}
+						// The stream died mid-body. Resume against the SAME
+						// replica first: it has kept simulating the chunk and
+						// memoized the results, so the re-request drains from
+						// its cache without re-executing anything — moving
+						// the work elsewhere would double-execute it.
+						if resumes < maxStreamResumes && sweep.spend(1) {
+							resumes++
+							sweep.mu.Lock()
+							sweep.stats.Resumes++
+							sweep.mu.Unlock()
+							if werr := c.bo.Sleep(ctx, rep, resumes-1, err); werr != nil {
+								return
+							}
+							continue
+						}
+						// Out of resumes (or budget): the replica is lost.
+						// Its breaker takes the failure and the next round
+						// re-shards whatever it had not delivered.
+						c.markDown(rep)
+						errsMu.Lock()
+						lastErr = fmt.Errorf("%s: %w", rep, err)
+						errsMu.Unlock()
 						return
 					}
-					errsMu.Lock()
-					switch {
-					case permanent(err):
-						// The chunk itself was rejected (4xx): no replica
-						// will answer differently, so fail the sweep fast
-						// instead of quarantining healthy replicas and
-						// re-sending a doomed request.
-						if fatalErr == nil {
-							fatalErr = fmt.Errorf("%s rejected the shard: %w", rep, err)
-						}
-					case client.IsThrottled(err):
-						// Saturated, not dead: keep the replica in the
-						// ring and let the round honor its hint.
-						throttleErr = err
-					default:
-						// The chunk died mid-stream: quarantine the
-						// replica and let the next round re-shard
-						// whatever it had not delivered.
-						c.markDown(rep)
-						lastErr = fmt.Errorf("%s: %w", rep, err)
-					}
-					errsMu.Unlock()
-					return
 				}
 			}(rep, shard)
 		}
@@ -150,17 +276,21 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		remaining := len(pending)
 		mu.Unlock()
 		switch {
+		case remaining == 0:
 		case remaining < before:
 			stalled, throttledRounds = 0, 0
 		case throttleErr != nil:
 			throttledRounds++
+			sweep.mu.Lock()
+			sweep.stats.ThrottleWaits++
+			sweep.mu.Unlock()
 			if throttledRounds >= maxThrottledRounds {
-				return nil, fmt.Errorf("cluster: sweep throttled for %d rounds with %d of %d specs undone: %w",
-					throttledRounds, remaining, total, throttleErr)
+				return nil, fmt.Errorf("cluster: sweep throttled for %d rounds with %d of %d specs undone (%s): %w",
+					throttledRounds, remaining, total, sweepDebug(sweep), throttleErr)
 			}
-			// Wait out the server's own backoff hint (capped), exactly
-			// like the single-request path.
-			if err := c.backoff(ctx, throttleErr); err != nil {
+			// Wait out the server's own backoff hint (capped, jittered),
+			// exactly like the single-request path.
+			if err := c.backoff(ctx, "sweep", throttledRounds-1, throttleErr); err != nil {
 				return nil, err
 			}
 		default:
@@ -173,12 +303,12 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 					// this coordinator (mixed-version deployment — the
 					// key covers the full normalized spec, including
 					// the CPU configuration).
-					return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone: replicas answered but delivered no pending keys (coordinator/replica version skew?)", remaining, total)
+					return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone (%s): replicas answered but delivered no pending keys (coordinator/replica version skew?)", remaining, total, sweepDebug(sweep))
 				}
-				return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone: %w", remaining, total, lastErr)
+				return nil, fmt.Errorf("cluster: sweep stalled with %d of %d specs undone (%s): %w", remaining, total, sweepDebug(sweep), lastErr)
 			}
-			// Give quarantines a moment to clear before re-sharding the
-			// same work.
+			// Give open breakers a moment toward half-open before
+			// re-sharding the same work.
 			select {
 			case <-time.After(500 * time.Millisecond):
 			case <-ctx.Done():
@@ -187,6 +317,15 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		}
 	}
 	return results, nil
+}
+
+// sweepDebug renders a sweep's accounting for error messages, so a
+// failed sweep reports what it spent instead of failing opaquely.
+func sweepDebug(s *sweepState) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("rounds=%d resumes=%d throttle_waits=%d retries_used=%d/%d",
+		s.stats.Rounds, s.stats.Resumes, s.stats.ThrottleWaits, s.stats.RetriesUsed, s.stats.RetryBudget)
 }
 
 // peersFor returns the replica set minus the target — the sibling
