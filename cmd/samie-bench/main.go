@@ -28,12 +28,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/obs"
 )
 
 type stringList []string
@@ -66,11 +68,15 @@ func main() {
 	benchOut := flag.String("bench-out", "", "append the profile session to this BENCH_*.json file")
 	baseline := flag.String("baseline", "", "compare the profile session against this BENCH_*.json (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional throughput regression vs -baseline")
+	traceOut := flag.String("trace-out", "", "write this invocation's span trace as Chrome trace-event JSON here (open in Perfetto); for the fleet-wide sweep view use samie-cluster -trace-out")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		obs.Default().SetEnabled(true)
 	}
 	if *profile {
 		entry := runProfile(*profileInsts, *profileReps, *profileLabel, *profileLegacy)
@@ -152,6 +158,7 @@ func main() {
 				fmt.Println(experiments.Tables456String())
 			}
 		}
+		writeTrace(*traceOut)
 		os.Exit(code)
 	}
 
@@ -189,23 +196,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "disk cache disabled: %v\n", err)
 	})
 
+	// One span per harness so -trace-out shows where a local
+	// invocation's wall-clock went (recorder disabled otherwise:
+	// StartSpan returns nil and this is free).
+	traced := func(name string, fn func()) {
+		_, sp := obs.StartSpan(context.Background(), name)
+		defer sp.End()
+		fn()
+	}
 	if want("1") {
-		fmt.Println(batch.Figure1(benchmarks, *insts))
+		traced("figure1", func() { fmt.Println(batch.Figure1(benchmarks, *insts)) })
 	}
 	if want("3") {
-		fmt.Println(batch.Figure3(benchmarks, *insts))
+		traced("figure3", func() { fmt.Println(batch.Figure3(benchmarks, *insts)) })
 	}
 	if want("4") {
-		fmt.Println(batch.Figure4(benchmarks, *insts, nil))
+		traced("figure4", func() { fmt.Println(batch.Figure4(benchmarks, *insts, nil)) })
 	}
 	if want("5") || want("6") {
-		fmt.Println(batch.Figure56(benchmarks, *insts))
+		traced("figure56", func() { fmt.Println(batch.Figure56(benchmarks, *insts)) })
 	}
 	if energyWanted {
-		fmt.Println(batch.Energy(benchmarks, *insts))
+		traced("energy", func() { fmt.Println(batch.Energy(benchmarks, *insts)) })
 	}
 	for _, name := range scenarios {
-		res, err := batch.Scenario(name, scenarioBench, *insts)
+		var res experiments.ScenarioResult
+		var err error
+		traced("scenario "+name, func() { res, err = batch.Scenario(name, scenarioBench, *insts) })
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -234,4 +251,23 @@ func main() {
 	if err := batch.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "cache close: %v\n", err)
 	}
+	writeTrace(*traceOut)
+}
+
+// writeTrace exports every span this process recorded as Chrome
+// trace-event JSON. No-op without -trace-out.
+func writeTrace(path string) {
+	if path == "" {
+		return
+	}
+	spans := obs.Default().Spans()
+	data, err := obs.ChromeTrace(spans)
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), path)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"samielsq"
+	"samielsq/internal/obs"
 	"samielsq/pkg/client"
 	"samielsq/pkg/cluster"
 )
@@ -32,7 +33,11 @@ func runRemote(serverURL string, benchmarks []string, insts uint64, figs, scenar
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	ctx := context.Background()
+	// With -trace-out the default recorder is live, so this roots every
+	// remote request (figures, scenario streams, sharded sweeps) of the
+	// invocation in one trace; otherwise the span is nil and free.
+	ctx, root := obs.StartSpan(context.Background(), "bench.remote")
+	defer root.End()
 	if err := c.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "server %s unreachable: %v\n", serverURL, err)
 		return 1

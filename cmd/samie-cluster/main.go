@@ -13,6 +13,7 @@
 //	samie-cluster -replicas ... -bench ammp,gzip,mcf,swim -insts 25000  # golden subset
 //	samie-cluster -replicas ... -scenario models -scenario adversarial  # sharded sweeps
 //	samie-cluster -replicas ... -stats                                  # + per-replica accounting (stderr)
+//	samie-cluster -replicas ... -trace-out sweep.json                   # fleet-wide Chrome trace (Perfetto)
 //
 // See docs/cluster.md for the deployment story.
 package main
@@ -21,12 +22,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/obs"
 	"samielsq/pkg/cluster"
 )
 
@@ -45,6 +48,7 @@ func main() {
 	retryBudget := flag.Int("max-retry-budget", 32, "total stream resumes + re-shard rounds a sweep may spend before giving up")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the sweep (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
+	traceOut := flag.String("trace-out", "", "write the sweep's fleet-wide trace (coordinator + every replica's spans) as Chrome trace-event JSON here; open in Perfetto or chrome://tracing")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
@@ -55,10 +59,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := cluster.New(strings.Split(*replicas, ","), cluster.WithRetryBudget(*retryBudget))
+	c, err := cluster.New(strings.Split(*replicas, ","),
+		cluster.WithRetryBudget(*retryBudget),
+		cluster.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		// Coordinator-side tracing is opt-in: with the recorder enabled
+		// every sweep opens a root span whose chunk children ride the
+		// shard requests as traceparent headers, so the replicas record
+		// their spans under the same trace IDs.
+		obs.Default().SetEnabled(true)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -95,6 +108,7 @@ func main() {
 		}
 	}
 
+	var sweepTraces []string
 	if len(scenarios) == 0 {
 		res, err := c.Suite(ctx, benchmarks, *insts, progress("suite"))
 		if err != nil {
@@ -104,6 +118,7 @@ func main() {
 		// Exact bytes (no extra newline): CI diffs this against the
 		// golden suite rendering.
 		fmt.Print(res.String())
+		sweepTraces = append(sweepTraces, c.SweepTraceID())
 	}
 	for _, name := range scenarios {
 		res, err := c.Scenario(ctx, name, benchmarks, *insts, progress(name))
@@ -112,6 +127,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(res.String())
+		sweepTraces = append(sweepTraces, c.SweepTraceID())
+	}
+
+	if *traceOut != "" {
+		if err := writeSweepTrace(ctx, c, sweepTraces, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *stats {
@@ -141,6 +164,9 @@ func main() {
 					st.Store.Mem.Hits, st.Store.Mem.Misses, st.Store.Disk.Hits, st.Store.Disk.Misses,
 					ps.Hits, ps.Misses, st.Store.PeerInstalls)
 			}
+			if line := phaseLine(st.RunPhases); line != "" {
+				fmt.Fprintf(os.Stderr, "  phases: %s\n", line)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "cluster: %d replicas, %d simulations executed, %d of %d requests served from cache\n",
 			len(reps), executed, hits, requests)
@@ -151,5 +177,59 @@ func main() {
 		sw := c.SweepStats()
 		fmt.Fprintf(os.Stderr, "cluster sweep: %d rounds, %d stream resumes, %d throttle waits, %d of %d retry budget spent, %d breaker trips\n",
 			sw.Rounds, sw.Resumes, sw.ThrottleWaits, sw.RetriesUsed, sw.RetryBudget, sw.BreakerTrips)
+		if id := c.SweepTraceID(); id != "" {
+			fmt.Fprintf(os.Stderr, "cluster sweep trace: %s\n", id)
+		}
 	}
+}
+
+// phaseLine renders one replica's per-phase latency percentiles
+// (p50/p95/p99 from the samie_run_phase_seconds snapshot), skipping
+// phases the replica never entered. Empty when the replica predates
+// phase accounting.
+func phaseLine(ps obs.PhaseStats) string {
+	var parts []string
+	for _, p := range obs.AllPhases() {
+		h := ps[p.String()]
+		if h.Count == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s p50=%s p95=%s p99=%s n=%d",
+			p, fmtSecs(h.Quantile(0.50)), fmtSecs(h.Quantile(0.95)), fmtSecs(h.Quantile(0.99)), h.Count))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// fmtSecs renders a seconds quantile as a compact duration.
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// writeSweepTrace reassembles the fleet-wide trace tree for the
+// sweeps this invocation ran — the coordinator's own spans plus every
+// replica's retained spans for those trace IDs, each tagged with its
+// source so the Chrome export lays them out in per-process lanes —
+// and writes it as Chrome trace-event JSON.
+func writeSweepTrace(ctx context.Context, c *cluster.ShardedClient, traceIDs []string, path string) error {
+	spans := obs.Default().Spans()
+	for i := range spans {
+		spans[i].Attrs = append(spans[i].Attrs, obs.SpanAttr{Key: "source", Value: "coordinator"})
+	}
+	seen := map[string]bool{}
+	for _, id := range traceIDs {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		spans = append(spans, c.TraceSpans(ctx, id)...)
+	}
+	data, err := obs.ChromeTrace(spans)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), path)
+	return nil
 }

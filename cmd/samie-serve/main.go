@@ -13,6 +13,7 @@
 //	samie-serve -preload                 # warm the run cache from the disk index
 //	samie-serve -max-concurrent 64 -request-timeout 5m
 //	samie-serve -peers http://b:8344,http://c:8344   # tier-2 peer fetch from siblings
+//	samie-serve -pprof-addr 127.0.0.1:6060           # net/http/pprof on a private listener
 //
 // The process drains gracefully on SIGINT/SIGTERM: /healthz flips to
 // 503, live NDJSON streams receive a terminal error event before the
@@ -28,6 +29,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,6 +61,7 @@ func main() {
 	peerAdopt := flag.Bool("peer-adopt", true, "adopt the sibling replica set a cluster coordinator supplies with each shard")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
 	chaos := flag.String("chaos", "", `deterministic fault injection spec, e.g. "err=0.1,lat=5ms:50ms,reset=0.05,trunc=0.02,seed=42" (testing only; POST /v1/chaos reconfigures at runtime)`)
+	pprofAddr := flag.String("pprof-addr", "", `serve net/http/pprof on this separate address ("" disables); bind it privately — the profiles expose internals`)
 	logJSON := flag.Bool("log-json", false, "log as JSON instead of text")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -147,6 +150,29 @@ func main() {
 	}
 	if chaosSpec.Enabled() {
 		log.Warn("chaos fault injection ENABLED", "spec", chaosSpec.String())
+	}
+
+	// Profiling stays off the service mux entirely: its own listener on
+	// its own (private) address, so the API surface never grows pprof
+	// endpoints and an operator can firewall the two independently.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Error("pprof listen", "err", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				log.Warn("pprof server stopped", "err", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

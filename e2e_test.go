@@ -29,6 +29,7 @@ import (
 
 	"samielsq"
 	"samielsq/internal/faultinject"
+	"samielsq/internal/obs"
 	"samielsq/internal/server"
 	"samielsq/pkg/client"
 	"samielsq/pkg/cluster"
@@ -79,6 +80,7 @@ func TestE2E(t *testing.T) {
 		{"E00023", "cluster_chaos_sweep_byte_identical_exactly_once", caseClusterChaosSweep},
 		{"E00024", "cluster_chaos_stream_resume_exactly_once", caseClusterChaosStreamResume},
 		{"E00025", "server_drain_stream_terminal_event", caseServerDrainStream},
+		{"E00026", "cluster_traced_sweep_single_tree", caseClusterSweepTrace},
 	}
 	seen := map[string]bool{}
 	for _, c := range cases {
@@ -408,7 +410,8 @@ func caseServerMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	values := map[string]float64{}
+	values := map[string]float64{} // full series incl. label block
+	families := map[string]bool{}  // family names with labels stripped
 	for _, line := range strings.Split(text, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -422,6 +425,8 @@ func caseServerMetrics(t *testing.T) {
 			t.Fatalf("non-numeric value in %q", line)
 		}
 		values[fields[0]] = v
+		name, _, _ := strings.Cut(fields[0], "{")
+		families[name] = true
 	}
 	if values["samie_engine_executed_total"] != 1 {
 		t.Errorf("samie_engine_executed_total = %v, want 1", values["samie_engine_executed_total"])
@@ -429,11 +434,20 @@ func caseServerMetrics(t *testing.T) {
 	for _, name := range []string{
 		"samie_engine_requests_total", "samie_engine_hits_total", "samie_engine_inflight",
 		"samie_disk_cache_hits_total", "samie_http_requests_total", "samie_http_throttled_total",
-		"samie_uptime_seconds", "samie_process_goroutines",
+		"samie_uptime_seconds", "samie_process_goroutines", "samie_build_info",
+		"samie_http_request_seconds_bucket", "samie_run_phase_seconds_bucket",
 	} {
-		if _, ok := values[name]; !ok {
-			t.Errorf("metric %s missing", name)
+		if !families[name] {
+			t.Errorf("metric family %s missing", name)
 		}
+	}
+	if v := values[`samie_http_requests_total{route="/v1/runs",code="200"}`]; v != 1 {
+		t.Errorf(`samie_http_requests_total{route="/v1/runs",code="200"} = %v, want 1`, v)
+	}
+	// The run above simulated, so the measured phase must have one
+	// observation on this fresh server.
+	if v := values[`samie_run_phase_seconds_count{phase="measured"}`]; v != 1 {
+		t.Errorf(`samie_run_phase_seconds_count{phase="measured"} = %v, want 1`, v)
 	}
 }
 
@@ -705,6 +719,116 @@ func caseClusterColdReplicaPeerWarm(t *testing.T) {
 	}
 	if !strings.Contains(text, "samie_store_peer_fetch_seconds_bucket{le=\"+Inf\"}") {
 		t.Error("/metrics missing the peer-fetch histogram")
+	}
+}
+
+// caseClusterSweepTrace: a coordinator-traced two-replica sweep
+// reconstructs as one tree — the local sweep root covers a chunk child
+// per shard request batch, every chunk has a server-side request span
+// under the same trace ID on the replica that served it, and per-phase
+// run timings land on every replica that executed work — while the
+// rendered suite stays byte-identical to the single-node harness.
+func caseClusterSweepTrace(t *testing.T) {
+	ctx := context.Background()
+	tsA, batchA, _ := bootReplica(t)
+	tsB, batchB, _ := bootReplica(t)
+	cs, err := cluster.New([]string{tsA.URL, tsB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A private enabled recorder stands in for samie-cluster's
+	// -trace-out: rooting the context in it routes the sweep and chunk
+	// spans here without touching the process-wide default recorder.
+	rec := obs.NewRecorder(0)
+	rec.SetEnabled(true)
+	tctx, root := rec.StartSpan(ctx, "e2e.sweep-trace")
+	suite, err := cs.Suite(tctx, e2eBench, e2eInsts(), nil)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samielsq.RunSuite(e2eBench, e2eInsts())
+	if suite.String() != want.String() {
+		t.Error("traced sweep no longer byte-identical to the single-node suite")
+	}
+
+	traceID := cs.SweepTraceID()
+	if traceID == "" {
+		t.Fatal("SweepTraceID empty after a traced sweep")
+	}
+
+	// Coordinator side: exactly one sweep span, every chunk its child.
+	local := rec.Trace(traceID)
+	sweepID := ""
+	for _, sr := range local {
+		if sr.Name == "sweep" {
+			if sweepID != "" {
+				t.Error("more than one sweep span in the trace")
+			}
+			sweepID = sr.SpanID
+		}
+	}
+	if sweepID == "" {
+		t.Fatal("no sweep span recorded")
+	}
+	chunkCovered := map[string]bool{} // chunk span id -> has a server-side child
+	for _, sr := range local {
+		if sr.Name != "sweep.chunk" {
+			continue
+		}
+		if sr.ParentID != sweepID {
+			t.Errorf("chunk span %s parented to %q, want the sweep span", sr.SpanID, sr.ParentID)
+		}
+		chunkCovered[sr.SpanID] = false
+	}
+	if len(chunkCovered) == 0 {
+		t.Fatal("no sweep.chunk spans recorded")
+	}
+
+	// Replica side: every span the fleet retained for this trace carries
+	// the trace ID and its source replica, and every chunk span has at
+	// least one server-side request span as its remote child.
+	remote := cs.TraceSpans(ctx, traceID)
+	for _, sr := range remote {
+		if sr.TraceID != traceID {
+			t.Fatalf("replica span %s carries trace %s, want %s", sr.SpanID, sr.TraceID, traceID)
+		}
+		if _, isChunk := chunkCovered[sr.ParentID]; isChunk {
+			chunkCovered[sr.ParentID] = true
+		}
+		src := ""
+		for _, a := range sr.Attrs {
+			if a.Key == "source" {
+				src = a.Value
+			}
+		}
+		if src != tsA.URL && src != tsB.URL {
+			t.Errorf("replica span %s has source %q, want a replica URL", sr.SpanID, src)
+		}
+	}
+	for id, covered := range chunkCovered {
+		if !covered {
+			t.Errorf("chunk span %s has no server-side child span", id)
+		}
+	}
+
+	// Phase accounting: the aggregate measured-phase count covers the
+	// whole sweep, and each replica observed it once per simulation it
+	// executed.
+	specs := samielsq.SuiteSpecs(e2eBench, e2eInsts())
+	agg, err := cs.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := agg.RunPhases["measured"].Count; n != uint64(len(specs)) {
+		t.Errorf("aggregate measured-phase observations = %d, want %d", n, len(specs))
+	}
+	for name, b := range map[string]*samielsq.Batch{"A": batchA, "B": batchB} {
+		ps := b.PhaseStats()
+		if ex := b.Stats().Executed; ex > 0 && ps["measured"].Count != uint64(ex) {
+			t.Errorf("replica %s measured-phase count %d != executed %d", name, ps["measured"].Count, ex)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ package cpu
 
 import (
 	"fmt"
+	"time"
 
 	"samielsq/internal/bpred"
 	"samielsq/internal/energy"
@@ -468,8 +469,20 @@ func (c *CPU) recycleInst(d *dynInst) {
 // and predictor (as the paper does before measuring), resets every
 // statistic, then simulates and reports measureInsts more.
 func (c *CPU) RunWarm(warmInsts, measureInsts uint64) Result {
+	res, _, _ := c.RunWarmTimed(warmInsts, measureInsts)
+	return res
+}
+
+// RunWarmTimed is RunWarm plus wall-clock attribution: it reports how
+// long the warmup and measured portions each took on the host, so the
+// profiling layer can split a run's simulation time into its phases.
+// The simulated result is identical to RunWarm's.
+func (c *CPU) RunWarmTimed(warmInsts, measureInsts uint64) (Result, time.Duration, time.Duration) {
+	var warmDur time.Duration
 	if warmInsts > 0 {
+		start := time.Now()
 		c.Run(warmInsts)
+		warmDur = time.Since(start)
 		c.res = Result{}
 		c.meter.Reset()
 		c.hier.ResetStats()
@@ -478,7 +491,9 @@ func (c *CPU) RunWarm(warmInsts, measureInsts uint64) Result {
 		c.bp.ResetStats()
 		c.model.ResetStats()
 	}
-	return c.Run(measureInsts)
+	start := time.Now()
+	res := c.Run(measureInsts)
+	return res, warmDur, time.Since(start)
 }
 
 // Run simulates until maxInsts instructions commit (or the stream

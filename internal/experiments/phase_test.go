@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"samielsq/internal/obs"
+)
+
+// TestRunPhasesSimulated: a fresh simulation reports queue_wait,
+// warmup and measured phase timings on the result, persists to disk
+// with a persist phase, and feeds the batch's per-phase histograms.
+func TestRunPhasesSimulated(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.Run(cacheTestSpec())
+	if r.Phases.Measured <= 0 || r.Phases.Warmup < 0 || r.Phases.QueueWait < 0 {
+		t.Fatalf("simulated run phases implausible: %+v", r.Phases)
+	}
+	if r.Phases.Persist <= 0 {
+		t.Errorf("disk-backed run recorded no persist phase: %+v", r.Phases)
+	}
+	// The disk tier was probed (a timed miss); no peer store exists, so
+	// that phase must stay untouched.
+	if r.Phases.PeerTier != 0 {
+		t.Errorf("fresh run claims peer-tier time without a peer store: %+v", r.Phases)
+	}
+
+	ps := b.PhaseStats()
+	for _, phase := range []obs.Phase{obs.PhaseQueueWait, obs.PhaseDiskTier, obs.PhaseWarmup, obs.PhaseMeasured, obs.PhasePersist} {
+		if ps[phase.String()].Count != 1 {
+			t.Errorf("batch phase %s count = %d, want 1", phase, ps[phase.String()].Count)
+		}
+	}
+	// Untouched phases carry no observations and are omitted entirely.
+	if _, ok := ps[obs.PhasePeerTier.String()]; ok {
+		t.Error("batch reports a peer-tier phase the run never entered")
+	}
+}
+
+// TestRunPhasesDiskTier: a second batch over the same cache directory
+// serves the spec from the disk tier and says so in its phase
+// breakdown — disk_tier time instead of warmup/measured.
+func TestRunPhasesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Run(cacheTestSpec())
+
+	b2, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b2.Run(cacheTestSpec())
+	if r.Phases.DiskTier <= 0 {
+		t.Fatalf("disk-served run recorded no disk_tier phase: %+v", r.Phases)
+	}
+	if r.Phases.Measured != 0 || r.Phases.Warmup != 0 {
+		t.Errorf("disk-served run claims simulation time: %+v", r.Phases)
+	}
+	ps := b2.PhaseStats()
+	if ps[obs.PhaseDiskTier.String()].Count != 1 {
+		t.Errorf("batch disk_tier count = %d, want 1", ps[obs.PhaseDiskTier.String()].Count)
+	}
+	if _, ok := ps[obs.PhaseMeasured.String()]; ok {
+		t.Error("disk-served batch reports a measured phase")
+	}
+}
+
+// TestRunPhasesMemoizedHit: the memoized second request for
+// the same spec is a pure map lookup — it must return the cached
+// result without inventing new phase timings beyond the recorded ones.
+func TestRunPhasesMemoizedHit(t *testing.T) {
+	b := NewBatch(1)
+	first := b.Run(cacheTestSpec())
+	second := b.Run(cacheTestSpec())
+	if second.Phases != first.Phases {
+		t.Errorf("memoized hit rewrote phases: first %+v second %+v", first.Phases, second.Phases)
+	}
+	ps := b.PhaseStats()
+	if ps[obs.PhaseMeasured.String()].Count != 1 {
+		t.Errorf("measured phase observed %d times for one execution", ps[obs.PhaseMeasured.String()].Count)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"samielsq/internal/experiments/engine"
 	"samielsq/internal/lsq"
 	"samielsq/internal/mem"
+	"samielsq/internal/obs"
 	"samielsq/internal/tlb"
 	"samielsq/internal/trace"
 )
@@ -78,6 +79,14 @@ type RunResult struct {
 	Hier  *mem.Hierarchy
 	SAMIE core.Stats         // populated for ModelSAMIE
 	Conv  lsq.OccupancyStats // populated for ModelConventional
+
+	// Phases is where the wall-clock went materializing this result
+	// (see internal/obs.Phase). It describes the process and tier that
+	// produced the result — a disk-served result reports only the
+	// lookup phases — and is observability metadata, not simulation
+	// output: it is excluded from disk artifacts and determinism
+	// comparisons.
+	Phases obs.PhaseTimes
 }
 
 // LSQEnergyNJ returns the headline LSQ dynamic energy in nJ: the
@@ -155,7 +164,8 @@ func keyOf(n RunSpec) string {
 // Batch to share and memoize runs across harnesses.
 func Run(spec RunSpec) RunResult { return runNormalized(Normalize(spec)) }
 
-// runNormalized executes an already-normalized spec.
+// runNormalized executes an already-normalized spec, recording the
+// warmup/measured wall-clock split into the result's Phases.
 func runNormalized(spec RunSpec) RunResult {
 	p := trace.MustPersonality(spec.Benchmark)
 	meter := energy.NewMeter()
@@ -179,7 +189,10 @@ func runNormalized(spec RunSpec) RunResult {
 	hier := mem.NewPaper()
 	c := cpu.New(*spec.CPU, trace.SharedStream(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
 	res := RunResult{Spec: spec, Meter: meter}
-	res.CPU = c.RunWarm(spec.Warmup, spec.Insts)
+	var warmDur, measDur time.Duration
+	res.CPU, warmDur, measDur = c.RunWarmTimed(spec.Warmup, spec.Insts)
+	res.Phases.Set(obs.PhaseWarmup, warmDur)
+	res.Phases.Set(obs.PhaseMeasured, measDur)
 	res.Hier = hier
 	if samie != nil {
 		res.SAMIE = samie.Stats()
@@ -203,13 +216,23 @@ type Batch struct {
 	// Tier-2 peer-fetch backend (see store.go); nil disables the tier.
 	peer                               atomic.Pointer[peerBox]
 	peerHits, peerMisses, peerInstalls atomic.Int64
-	peerFetch                          fetchHist
+	peerFetch                          *obs.Histogram
+
+	// phase holds one latency histogram per obs.Phase, fed by jobFor.
+	phase [obs.NumPhases]*obs.Histogram
 }
 
 // NewBatch returns a batch bounded to `workers` concurrent
 // simulations; workers <= 0 means GOMAXPROCS.
 func NewBatch(workers int) *Batch {
-	return &Batch{sched: engine.New[string, RunResult](workers)}
+	b := &Batch{
+		sched:     engine.New[string, RunResult](workers),
+		peerFetch: obs.NewHistogram(fetchBuckets),
+	}
+	for i := range b.phase {
+		b.phase[i] = obs.NewHistogram(obs.PhaseBuckets)
+	}
+	return b
 }
 
 // NewBatchWithCache is NewBatch plus a disk spill: results are served
@@ -267,20 +290,50 @@ func (b *Batch) RunCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 // itself ignores it — engine jobs run to completion once started).
 // A tier-served result reclassifies the job as a scheduler hit, so
 // engine Executed keeps counting simulations this process performed.
+//
+// The closure attributes its wall-clock to obs phases (queue-wait
+// from jobFor construction to closure start, then one phase per tier
+// touched) onto both the result's Phases block and the batch's phase
+// histograms, and opens child spans on the owner's trace so a traced
+// request shows where each run's time went.
 func (b *Batch) jobFor(ctx context.Context, n RunSpec, key string) func() RunResult {
+	enqueued := time.Now()
 	return func() RunResult {
+		var pt obs.PhaseTimes
+		observe := func(p obs.Phase, d time.Duration) {
+			pt.Set(p, d)
+			b.phase[p].Observe(d)
+		}
+		observe(obs.PhaseQueueWait, time.Since(enqueued))
+		runCtx, span := obs.StartSpan(ctx, "run")
+		span.SetAttr("benchmark", n.Benchmark)
+		span.SetAttr("key", key)
+		defer span.End()
+
 		if b.disk != nil {
-			if r, ok := b.disk.load(key); ok {
+			start := time.Now()
+			_, dspan := obs.StartSpan(runCtx, "tier.disk")
+			r, ok := b.disk.load(key)
+			dspan.End()
+			observe(obs.PhaseDiskTier, time.Since(start))
+			if ok {
+				span.SetAttr("tier", "disk")
 				r.Spec = n
+				r.Phases = pt
 				b.sched.NoteExternalHit()
 				return r
 			}
 		}
 		if p := b.PeerStore(); p != nil {
 			start := time.Now()
-			r, ok := p.Fetch(ctx, key)
-			b.peerFetch.observe(time.Since(start))
+			peerCtx, pspan := obs.StartSpan(runCtx, "tier.peer")
+			r, ok := p.Fetch(peerCtx, key)
+			pspan.End()
+			d := time.Since(start)
+			b.peerFetch.Observe(d)
+			observe(obs.PhasePeerTier, d)
 			if ok {
+				span.SetAttr("tier", "peer")
 				b.peerHits.Add(1)
 				// The wire carries no spec or hierarchy; restore the
 				// identity the caller asked for, exactly like a
@@ -288,18 +341,30 @@ func (b *Batch) jobFor(ctx context.Context, n RunSpec, key string) func() RunRes
 				r.Spec = n
 				r.Hier = nil
 				if b.disk != nil {
+					start := time.Now()
 					b.disk.store(key, r)
+					observe(obs.PhasePersist, time.Since(start))
 					b.peerInstalls.Add(1)
 				}
+				r.Phases = pt
 				b.sched.NoteExternalHit()
 				return r
 			}
 			b.peerMisses.Add(1)
 		}
+		span.SetAttr("tier", "simulate")
+		_, sspan := obs.StartSpan(runCtx, "simulate")
 		r := runNormalized(n)
+		sspan.End()
+		b.phase[obs.PhaseWarmup].Observe(time.Duration(r.Phases.Warmup * float64(time.Second)))
+		b.phase[obs.PhaseMeasured].Observe(time.Duration(r.Phases.Measured * float64(time.Second)))
+		pt.Warmup, pt.Measured = r.Phases.Warmup, r.Phases.Measured
 		if b.disk != nil {
+			start := time.Now()
 			b.disk.store(key, r)
+			observe(obs.PhasePersist, time.Since(start))
 		}
+		r.Phases = pt
 		return r
 	}
 }

@@ -17,8 +17,8 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
-	"time"
+
+	"samielsq/internal/obs"
 )
 
 // PeerStore is the tier-2 backend: on a local miss it returns the
@@ -111,7 +111,7 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.Peer.Hits += o.Peer.Hits
 	s.Peer.Misses += o.Peer.Misses
 	s.PeerInstalls += o.PeerInstalls
-	s.PeerFetch.add(o.PeerFetch)
+	s.PeerFetch.Add(o.PeerFetch)
 }
 
 // StoreStats snapshots the batch's tiered-store accounting. Mem-tier
@@ -134,8 +134,21 @@ func (b *Batch) StoreStats() StoreStats {
 		Disk:         TierStats{Hits: ds.Hits, Misses: ds.Misses},
 		Peer:         TierStats{Hits: peerHits, Misses: b.peerMisses.Load()},
 		PeerInstalls: b.peerInstalls.Load(),
-		PeerFetch:    b.peerFetch.snapshot(),
+		PeerFetch:    b.peerFetch.Snapshot(),
 	}
+}
+
+// PhaseStats snapshots the batch's per-phase run-latency histograms
+// (see internal/obs.Phase for the phase definitions). Exposed through
+// /v1/stats ("run_phases") and /metrics (samie_run_phase_seconds).
+func (b *Batch) PhaseStats() obs.PhaseStats {
+	out := make(obs.PhaseStats, obs.NumPhases)
+	for i, h := range b.phase {
+		if s := h.Snapshot(); s.Count > 0 {
+			out[obs.Phase(i).String()] = s
+		}
+	}
+	return out
 }
 
 // fetchBuckets are the peer-fetch histogram's upper bounds in seconds
@@ -146,67 +159,6 @@ var fetchBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5
 // FetchHist is a snapshot of the peer-fetch latency histogram.
 // Counts[i] is the number of observations ≤ Bounds[i] seconds
 // (non-cumulative per bucket); the final element counts observations
-// beyond every bound (+Inf).
-type FetchHist struct {
-	Bounds []float64 `json:"bounds,omitempty"`
-	Counts []uint64  `json:"counts,omitempty"`
-	Sum    float64   `json:"sum"`
-	Count  uint64    `json:"count"`
-}
-
-// add merges another snapshot (cluster aggregation); bucket counts
-// merge only when the bounds agree, Sum/Count always do.
-func (h *FetchHist) add(o FetchHist) {
-	h.Sum += o.Sum
-	h.Count += o.Count
-	if len(h.Counts) == 0 {
-		h.Bounds = o.Bounds
-		h.Counts = o.Counts
-		return
-	}
-	if len(o.Counts) != len(h.Counts) {
-		return
-	}
-	for i, c := range o.Counts {
-		h.Counts[i] += c
-	}
-}
-
-// fetchBucketCount is len(fetchBuckets) + 1: the trailing bucket
-// counts observations beyond every bound (+Inf).
-const fetchBucketCount = 12
-
-// fetchHist is the live histogram: fixed buckets, lock-free observes.
-// The sum accumulates in nanoseconds so it needs no float CAS loop.
-type fetchHist struct {
-	buckets  [fetchBucketCount]atomic.Uint64
-	sumNanos atomic.Int64
-	count    atomic.Uint64
-}
-
-func (h *fetchHist) observe(d time.Duration) {
-	sec := d.Seconds()
-	i := 0
-	for i < len(fetchBuckets) && sec > fetchBuckets[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
-	h.sumNanos.Add(int64(d))
-	h.count.Add(1)
-}
-
-func (h *fetchHist) snapshot() FetchHist {
-	if h.count.Load() == 0 {
-		return FetchHist{}
-	}
-	counts := make([]uint64, len(fetchBuckets)+1)
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-	}
-	return FetchHist{
-		Bounds: append([]float64(nil), fetchBuckets...),
-		Counts: counts,
-		Sum:    float64(h.sumNanos.Load()) / 1e9,
-		Count:  h.count.Load(),
-	}
-}
+// beyond every bound (+Inf). It is the shared obs histogram snapshot;
+// the alias keeps the established name and wire shape.
+type FetchHist = obs.HistSnapshot

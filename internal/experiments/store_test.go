@@ -175,11 +175,11 @@ func TestStoreStatsAggregation(t *testing.T) {
 		Disk:         TierStats{Hits: 3, Misses: 4},
 		Peer:         TierStats{Hits: 5, Misses: 6},
 		PeerInstalls: 5,
-		PeerFetch:    FetchHist{Bounds: fetchBuckets, Counts: make([]uint64, fetchBucketCount), Sum: 1.5, Count: 11},
+		PeerFetch:    FetchHist{Bounds: fetchBuckets, Counts: make([]uint64, len(fetchBuckets)+1), Sum: 1.5, Count: 11},
 	}
 	a.PeerFetch.Counts[0] = 11
 	b := a
-	b.PeerFetch = FetchHist{Bounds: fetchBuckets, Counts: make([]uint64, fetchBucketCount), Sum: 0.5, Count: 3}
+	b.PeerFetch = FetchHist{Bounds: fetchBuckets, Counts: make([]uint64, len(fetchBuckets)+1), Sum: 0.5, Count: 3}
 	b.PeerFetch.Counts[1] = 3
 
 	a.Add(b)

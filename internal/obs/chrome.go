@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format
+// (the "JSON Array Format" with a traceEvents wrapper) that Perfetto
+// and chrome://tracing load directly. Spans are emitted as async
+// begin/end pairs keyed by span ID so overlapping spans from many
+// goroutines and replicas render on their own tracks without needing
+// strict stack nesting.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	ID    string            `json:"id"`
+	TS    int64             `json:"ts"`  // microseconds
+	PID   int               `json:"pid"` // process lane: one per source
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTrace renders completed spans as Chrome trace-event JSON.
+// Spans from different sources (attr "source", e.g. the coordinator
+// vs each replica) land in different pid lanes so a merged
+// multi-replica sweep reads as one timeline with one lane per
+// process.
+func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	sorted := append([]SpanRecord(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+
+	lanes := map[string]int{}
+	laneOf := func(sr SpanRecord) int {
+		src := ""
+		for _, a := range sr.Attrs {
+			if a.Key == "source" {
+				src = a.Value
+			}
+		}
+		id, ok := lanes[src]
+		if !ok {
+			id = len(lanes) + 1
+			lanes[src] = id
+		}
+		return id
+	}
+
+	f := chromeFile{TraceEvents: make([]chromeEvent, 0, 2*len(sorted))}
+	for _, sr := range sorted {
+		args := map[string]string{
+			"trace_id": sr.TraceID,
+			"span_id":  sr.SpanID,
+		}
+		if sr.ParentID != "" {
+			args["parent_id"] = sr.ParentID
+		}
+		for _, a := range sr.Attrs {
+			args[a.Key] = a.Value
+		}
+		pid := laneOf(sr)
+		begin := chromeEvent{
+			Name:  sr.Name,
+			Cat:   "span",
+			Phase: "b",
+			ID:    "0x" + sr.SpanID,
+			TS:    sr.Start.UnixMicro(),
+			PID:   pid,
+			TID:   1,
+			Args:  args,
+		}
+		end := begin
+		end.Phase = "e"
+		end.TS = sr.Start.Add(sr.Duration).UnixMicro()
+		end.Args = nil
+		f.TraceEvents = append(f.TraceEvents, begin, end)
+	}
+	return json.MarshalIndent(f, "", " ")
+}

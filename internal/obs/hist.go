@@ -1,0 +1,149 @@
+// Package obs is the fabric's dependency-free observability layer:
+// W3C-style trace propagation, a lock-cheap in-process span recorder,
+// fixed-bucket latency histograms, and per-run phase timing. Every
+// piece is safe for concurrent use and costs nothing measurable when
+// recording is disabled, so it can stay woven through the hot serving
+// paths permanently.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram: one atomic counter
+// per bucket plus an atomic nanosecond sum, so Observe never takes a
+// lock and snapshots are wait-free reads. Bucket bounds are upper
+// edges in seconds; observations above the last bound land in an
+// implicit +Inf bucket.
+type Histogram struct {
+	bounds   []float64
+	buckets  []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (seconds). The bounds slice is retained; callers must not
+// mutate it afterwards.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Snapshot captures the current state. An untouched histogram
+// snapshots to the zero value so JSON consumers can omit it.
+func (h *Histogram) Snapshot() HistSnapshot {
+	n := h.count.Load()
+	if n == 0 {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    time.Duration(h.sumNanos.Load()).Seconds(),
+		Count:  n,
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, also used as
+// the wire form in stats responses. Counts are per-bucket (not
+// cumulative) and include the +Inf overflow bucket as the final
+// element, so len(Counts) == len(Bounds)+1 when populated.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Add merges another snapshot into this one for cluster-level
+// aggregation. Bucket layouts must match (both sides use the
+// compiled-in bounds); an empty receiver adopts the other's layout.
+func (s *HistSnapshot) Add(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Bounds = o.Bounds
+		s.Counts = append([]uint64(nil), o.Counts...)
+		s.Sum, s.Count = o.Sum, o.Count
+		return
+	}
+	for i := range s.Counts {
+		if i < len(o.Counts) {
+			s.Counts[i] += o.Counts[i]
+		}
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+}
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts
+// using linear interpolation within the containing bucket, the same
+// scheme Prometheus' histogram_quantile uses. Observations in the
+// +Inf bucket clamp to the last finite bound. Returns 0 for an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the last finite edge.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		prev := cum - float64(c)
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - prev) / float64(c)
+		}
+		if math.IsNaN(frac) || frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,122 @@
+package obs
+
+import "time"
+
+// Phase enumerates where wall-clock goes inside one engine job, from
+// the moment the request reaches the scheduler to the artifact hitting
+// disk. The set is closed: dashboards and the cluster stats printer
+// iterate AllPhases, so adding a phase means extending this list.
+type Phase int
+
+const (
+	// PhaseQueueWait: from job submission to the job closure starting
+	// (engine slot acquisition + memo bookkeeping).
+	PhaseQueueWait Phase = iota
+	// PhaseDiskTier: loading a prior artifact from the disk tier.
+	PhaseDiskTier
+	// PhasePeerTier: probing/fetching the result from peer replicas.
+	PhasePeerTier
+	// PhaseWarmup: the run's warmup instructions (stats discarded).
+	PhaseWarmup
+	// PhaseMeasured: the measured simulation cycles.
+	PhaseMeasured
+	// PhasePersist: writing the finished artifact to the disk tier.
+	PhasePersist
+
+	NumPhases int = iota
+)
+
+var phaseNames = [NumPhases]string{
+	"queue_wait", "disk_tier", "peer_tier", "warmup", "measured", "persist",
+}
+
+func (p Phase) String() string {
+	if p < 0 || int(p) >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// AllPhases lists every phase in declaration order.
+func AllPhases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// PhaseTimes is the per-run phase breakdown in seconds, attached to
+// RunResponse. A phase the run never entered stays zero and is
+// omitted from JSON; e.g. a disk-tier hit reports only queue_wait and
+// disk_tier.
+type PhaseTimes struct {
+	QueueWait float64 `json:"queue_wait,omitempty"`
+	DiskTier  float64 `json:"disk_tier,omitempty"`
+	PeerTier  float64 `json:"peer_tier,omitempty"`
+	Warmup    float64 `json:"warmup,omitempty"`
+	Measured  float64 `json:"measured,omitempty"`
+	Persist   float64 `json:"persist,omitempty"`
+}
+
+// Set records a phase duration.
+func (t *PhaseTimes) Set(p Phase, d time.Duration) {
+	sec := d.Seconds()
+	switch p {
+	case PhaseQueueWait:
+		t.QueueWait = sec
+	case PhaseDiskTier:
+		t.DiskTier = sec
+	case PhasePeerTier:
+		t.PeerTier = sec
+	case PhaseWarmup:
+		t.Warmup = sec
+	case PhaseMeasured:
+		t.Measured = sec
+	case PhasePersist:
+		t.Persist = sec
+	}
+}
+
+// Get returns a phase duration in seconds.
+func (t PhaseTimes) Get(p Phase) float64 {
+	switch p {
+	case PhaseQueueWait:
+		return t.QueueWait
+	case PhaseDiskTier:
+		return t.DiskTier
+	case PhasePeerTier:
+		return t.PeerTier
+	case PhaseWarmup:
+		return t.Warmup
+	case PhaseMeasured:
+		return t.Measured
+	case PhasePersist:
+		return t.Persist
+	}
+	return 0
+}
+
+// IsZero reports whether no phase was recorded.
+func (t PhaseTimes) IsZero() bool { return t == PhaseTimes{} }
+
+// PhaseBuckets are the upper bounds for samie_run_phase_seconds.
+// Phases span five orders of magnitude — disk loads are tens of
+// microseconds, big measured runs are seconds — so the ladder starts
+// far below the peer-fetch buckets.
+var PhaseBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// PhaseStats maps phase name to its latency distribution; the wire
+// form inside stats responses.
+type PhaseStats map[string]HistSnapshot
+
+// Add merges another replica's phase stats for cluster aggregation.
+func (p PhaseStats) Add(o PhaseStats) {
+	for name, snap := range o {
+		cur := p[name]
+		cur.Add(snap)
+		p[name] = cur
+	}
+}

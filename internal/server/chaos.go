@@ -110,7 +110,8 @@ func (s *Server) handleChaosSet(w http.ResponseWriter, r *http.Request) {
 // chaos layer is doing.
 func chaosExempt(path string) bool {
 	return path == "/healthz" || path == "/metrics" ||
-		path == "/v1/stats" || strings.HasPrefix(path, "/v1/chaos")
+		path == "/v1/stats" || strings.HasPrefix(path, "/v1/chaos") ||
+		strings.HasPrefix(path, "/v1/trace")
 }
 
 // withChaos applies the drawn fault plan to each request. When no

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/obs"
 	"samielsq/pkg/client"
 )
 
@@ -67,6 +68,7 @@ func runResponseFor(n experiments.RunSpec, res experiments.RunResult) client.Run
 		Conv:        res.Conv,
 		Meter:       res.Meter,
 		LSQEnergyNJ: res.LSQEnergyNJ(),
+		Phases:      res.Phases,
 	}
 }
 
@@ -175,9 +177,16 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = s.drainAware(ctx)
 		defer cancel()
+		// Every run event carries the serving request's span context:
+		// a coordinator resuming a truncated stream can then name the
+		// trace each undelivered spec belonged to.
+		tp := obs.SpanFromContext(ctx).TraceParent()
+		if tp == "" {
+			tp = r.Header.Get("traceparent")
+		}
 		onDone = func(res experiments.RunResult, done, total int) {
 			rr := runResponseFor(res.Spec, res)
-			emit(client.SuiteEvent{Type: "run", Run: &rr, Done: done, Total: total})
+			emit(client.SuiteEvent{Type: "run", Run: &rr, Done: done, Total: total, Trace: tp})
 		}
 	}
 	results, err := s.batch.RunEachCtx(ctx, specs, onDone)

@@ -2,21 +2,23 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"samielsq/internal/experiments"
 	"samielsq/internal/faultinject"
+	"samielsq/internal/obs"
 	"samielsq/pkg/client"
 )
 
 // statsSnapshot assembles the /v1/stats body; /metrics renders the
 // same snapshot in Prometheus text form so the two never disagree.
 func (s *Server) statsSnapshot() client.StatsResponse {
-	var mem runtime.MemStats
-	runtime.ReadMemStats(&mem)
 	return client.StatsResponse{
 		Engine:         s.batch.Stats(),
 		Disk:           s.batch.DiskStats(),
@@ -34,14 +36,17 @@ func (s *Server) statsSnapshot() client.StatsResponse {
 		Preloaded:      s.cfg.Preloaded,
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Goroutines:     runtime.NumGoroutine(),
-		HeapBytes:      mem.HeapAlloc,
+		HeapBytes:      s.heapBytes(),
+		RunPhases:      s.batch.PhaseStats(),
 		Chaos:          s.chaosSnapshot(),
 	}
 }
 
 // handleMetrics is the Prometheus text exposition (format version
-// 0.0.4): engine hit/miss/inflight counters, disk-cache traffic, HTTP
-// admission accounting and process gauges.
+// 0.0.4): engine hit/miss/inflight counters, disk-cache traffic,
+// labeled HTTP request accounting, tiered-store counters, the
+// peer-fetch and per-phase run latency histograms, chaos counters and
+// process gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.statsSnapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -62,7 +67,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"samie_disk_cache_hits_total", "Results served from the on-disk cache.", "counter", float64(st.Disk.Hits)},
 		{"samie_disk_cache_misses_total", "On-disk lookups that missed.", "counter", float64(st.Disk.Misses)},
 		{"samie_disk_cache_writes_total", "Artifacts persisted to the on-disk cache.", "counter", float64(st.Disk.Writes)},
-		{"samie_http_requests_total", "HTTP requests served, all endpoints.", "counter", float64(st.RequestsServed)},
 		{"samie_http_throttled_total", "Requests shed with 429 at the admission semaphore.", "counter", float64(st.Throttled)},
 		{"samie_http_probe_hits_total", "Cache probes (GET /v1/runs/{key}) that found a result.", "counter", float64(st.ProbeHits)},
 		{"samie_http_probe_misses_total", "Cache probes that found nothing.", "counter", float64(st.ProbeMisses)},
@@ -72,10 +76,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"samie_preloaded_runs", "Results preloaded from disk at startup.", "gauge", float64(st.Preloaded)},
 		{"samie_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds},
 		{"samie_process_goroutines", "Live goroutines.", "gauge", float64(st.Goroutines)},
-		{"samie_process_heap_bytes", "Heap bytes in use.", "gauge", float64(st.HeapBytes)},
+		{"samie_process_heap_bytes", "Heap bytes in use (sampled at most once per second).", "gauge", float64(st.HeapBytes)},
 	}
 	for _, m := range metrics {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.kind, m.name, m.value)
+	}
+
+	// Build identity, so a fleet dashboard can spot mixed simulator
+	// builds at a glance (the same stamp the store tiers verify).
+	fmt.Fprintf(w, "# HELP samie_build_info Simulator build identity; the value is always 1.\n# TYPE samie_build_info gauge\n")
+	fmt.Fprintf(w, "samie_build_info{revision=\"%s\"} 1\n", promLabel(experiments.SimStamp()))
+
+	// HTTP requests, split by normalized route and status code, plus
+	// the per-route latency histogram.
+	counts, durs := s.httpm.snapshot()
+	keys := make([]routeCode, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP samie_http_requests_total HTTP requests served, by route and status code.\n# TYPE samie_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "samie_http_requests_total{route=\"%s\",code=\"%d\"} %d\n", promLabel(k.route), k.code, counts[k])
+	}
+	routes := make([]string, 0, len(durs))
+	for route := range durs {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "# HELP samie_http_request_seconds Request latency, by normalized route.\n# TYPE samie_http_request_seconds histogram\n")
+	for _, route := range routes {
+		writeHistSeries(w, "samie_http_request_seconds", fmt.Sprintf("route=\"%s\"", promLabel(route)), durs[route])
 	}
 
 	// Tiered run store: per-tier hit/miss counters (labeled) plus the
@@ -107,16 +143,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "samie_chaos_injected_total{kind=%q} %d\n", k, cc.Get(k))
 	}
 
-	h := st.Store.PeerFetch
 	fmt.Fprintf(w, "# HELP samie_store_peer_fetch_seconds Peer probe latency (hits and misses).\n# TYPE samie_store_peer_fetch_seconds histogram\n")
+	writeHistSeries(w, "samie_store_peer_fetch_seconds", "", st.Store.PeerFetch)
+
+	// Per-phase run latency: every defined phase is always emitted
+	// (zeros before the first observation) so dashboards and CI can
+	// select the full set unconditionally.
+	fmt.Fprintf(w, "# HELP samie_run_phase_seconds Where run wall-clock went, per engine-job phase.\n# TYPE samie_run_phase_seconds histogram\n")
+	for _, p := range obs.AllPhases() {
+		writeHistSeries(w, "samie_run_phase_seconds", fmt.Sprintf("phase=%q", p), st.RunPhases[p.String()])
+	}
+}
+
+// writeHistSeries renders one histogram series in exposition format:
+// cumulative buckets ending at +Inf, then sum and count. labels is
+// the series' label block without braces ("" for none, `phase="x"`
+// otherwise); le is appended to it for the bucket lines. An empty
+// snapshot renders a valid all-zero series with only the +Inf bucket.
+func writeHistSeries(w io.Writer, name, labels string, h obs.HistSnapshot) {
+	bucket := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, le)
+	}
+	plain := ""
+	if labels != "" {
+		plain = "{" + labels + "}"
+	}
 	var cum uint64
 	for i, bound := range h.Bounds {
 		cum += h.Counts[i]
-		fmt.Fprintf(w, "samie_store_peer_fetch_seconds_bucket{le=%q} %d\n", trimFloat(bound), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucket(trimFloat(bound)), cum)
 	}
-	fmt.Fprintf(w, "samie_store_peer_fetch_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
-	fmt.Fprintf(w, "samie_store_peer_fetch_seconds_sum %g\n", h.Sum)
-	fmt.Fprintf(w, "samie_store_peer_fetch_seconds_count %d\n", h.Count)
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucket("+Inf"), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, plain, h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, plain, h.Count)
+}
+
+// promLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func promLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // trimFloat renders a histogram bound the canonical Prometheus way

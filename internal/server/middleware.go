@@ -10,8 +10,11 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"samielsq/internal/obs"
 	"samielsq/pkg/client"
 )
 
@@ -55,25 +58,134 @@ func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
 	return hj.Hijack()
 }
 
-// withLogging emits one structured log line per request.
+// withLogging emits one structured log line per request, and is also
+// where a request joins the trace fabric: the incoming traceparent
+// (if any) is adopted, a server span is opened around the handler —
+// putting it on the request context so engine jobs hang their tier
+// spans off it — and the trace/span IDs land in the log line. The
+// per-{route,code} counters and per-route latency histogram are
+// observed here too, on the normalized route label (bounded
+// cardinality, never the raw path).
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
+		route := routeLabel(r.URL.Path)
+		parent, hasParent := obs.ParseTraceParent(r.Header.Get("traceparent"))
+		ctx, span := s.rec.StartRemoteChild(r.Context(), r.Method+" "+route, parent)
+		if span != nil {
+			span.SetAttr("path", r.URL.Path)
+			r = r.WithContext(ctx)
+		}
 		next.ServeHTTP(sw, r)
-		s.served.Add(1)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.log.Info("request",
+		dur := time.Since(begin)
+		s.served.Add(1)
+		s.httpm.observe(route, sw.status, dur)
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"duration", time.Since(begin).Round(time.Microsecond).String(),
+			"duration", dur.Round(time.Microsecond).String(),
 			"remote", r.RemoteAddr,
-		)
+		}
+		switch {
+		case span != nil:
+			span.SetAttr("status", strconv.Itoa(sw.status))
+			span.End()
+			attrs = append(attrs,
+				"trace_id", span.Context().Trace.String(),
+				"span_id", span.Context().Span.String())
+		case hasParent:
+			// Recording is off but the caller propagated an identity:
+			// keep the correlation in the log anyway.
+			attrs = append(attrs, "trace_id", parent.Trace.String())
+		}
+		s.log.Info("request", attrs...)
 	})
+}
+
+// routeLabel normalizes a request to its route pattern so metric
+// labels stay bounded however many distinct keys, figures or trace
+// IDs clients ask for. Unknown paths collapse into "other".
+func routeLabel(path string) string {
+	switch {
+	case path == "/healthz" || path == "/metrics" ||
+		path == "/v1/stats" || path == "/v1/chaos" ||
+		path == "/v1/scenarios" || path == "/v1/runs" ||
+		path == "/v1/suite" || path == "/v1/traces":
+		return path
+	case strings.HasPrefix(path, "/v1/runs/"):
+		return "/v1/runs/{key}"
+	case strings.HasPrefix(path, "/v1/figures/"):
+		return "/v1/figures/{name}"
+	case strings.HasPrefix(path, "/v1/trace/"):
+		return "/v1/trace/{id}"
+	case strings.HasPrefix(path, "/v1/scenarios/") && strings.HasSuffix(path, "/run"):
+		return "/v1/scenarios/{name}/run"
+	default:
+		return "other"
+	}
+}
+
+// httpMetrics aggregates the labeled request metrics: one counter per
+// {route, status code} and one latency histogram per route. Routes
+// are a small closed set (routeLabel), so the maps stay tiny; the
+// mutex guards only map access — histogram observes are lock-free.
+type httpMetrics struct {
+	mu     sync.Mutex
+	counts map[routeCode]int64
+	dur    map[string]*obs.Histogram
+}
+
+// routeCode keys one requests_total series.
+type routeCode struct {
+	route string
+	code  int
+}
+
+// requestBuckets bound the per-route request-latency histogram: the
+// peer-fetch ladder, which already spans "LAN round trip" to "long
+// simulation request".
+var requestBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+func (m *httpMetrics) init() {
+	m.counts = make(map[routeCode]int64)
+	m.dur = make(map[string]*obs.Histogram)
+}
+
+func (m *httpMetrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.counts[routeCode{route, code}]++
+	h := m.dur[route]
+	if h == nil {
+		h = obs.NewHistogram(requestBuckets)
+		m.dur[route] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// snapshot copies the counters and snapshots every route histogram.
+func (m *httpMetrics) snapshot() (map[routeCode]int64, map[string]obs.HistSnapshot) {
+	m.mu.Lock()
+	counts := make(map[routeCode]int64, len(m.counts))
+	for k, v := range m.counts {
+		counts[k] = v
+	}
+	hists := make(map[string]*obs.Histogram, len(m.dur))
+	for k, h := range m.dur {
+		hists[k] = h
+	}
+	m.mu.Unlock()
+	out := make(map[string]obs.HistSnapshot, len(hists))
+	for k, h := range hists {
+		out[k] = h.Snapshot()
+	}
+	return counts, out
 }
 
 // withRecovery converts handler panics into 500s instead of tearing

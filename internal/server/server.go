@@ -30,11 +30,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"samielsq/internal/experiments"
 	"samielsq/internal/faultinject"
+	"samielsq/internal/obs"
 	"samielsq/internal/trace"
 )
 
@@ -88,6 +91,12 @@ type Config struct {
 	// request handlers; implementations must be safe for concurrent
 	// use. Never called with an empty list.
 	PeerAdopt func(peers []string)
+
+	// Recorder receives every request's spans and serves /v1/trace*.
+	// Nil gets a fresh enabled recorder of the default ring size; a
+	// disabled recorder turns tracing off (requests still adopt and
+	// log incoming traceparent IDs, they just record nothing).
+	Recorder *obs.Recorder
 }
 
 // Server is the HTTP simulation service; construct with New, expose
@@ -100,6 +109,8 @@ type Server struct {
 	start time.Time
 	mux   *http.ServeMux
 	chaos chaosState
+	rec   *obs.Recorder
+	httpm httpMetrics
 
 	// drainCtx is canceled by BeginDrain: /healthz flips to 503 so load
 	// balancers stop routing here, and in-flight NDJSON streams are
@@ -114,6 +125,38 @@ type Server struct {
 	probeHits   atomic.Int64 // GET /v1/runs/{key} found
 	probeMisses atomic.Int64 // GET /v1/runs/{key} not cached
 	suiteSpecs  atomic.Int64 // simulations requested via POST /v1/suite
+
+	// mem is the cached runtime.MemStats sample: ReadMemStats stops
+	// the world, so stats/metrics scrapes share one sample refreshed
+	// at most once per second instead of paying it per hit.
+	mem struct {
+		sync.Mutex
+		snap atomic.Pointer[memSample]
+	}
+}
+
+// memSample is one cached ReadMemStats result.
+type memSample struct {
+	at   time.Time
+	heap uint64
+}
+
+// heapBytes returns the heap-in-use gauge from the shared sample,
+// refreshing it when older than a second.
+func (s *Server) heapBytes() uint64 {
+	if cur := s.mem.snap.Load(); cur != nil && time.Since(cur.at) < time.Second {
+		return cur.heap
+	}
+	s.mem.Lock()
+	defer s.mem.Unlock()
+	// Re-check under the lock: a concurrent scrape may have refreshed.
+	if cur := s.mem.snap.Load(); cur != nil && time.Since(cur.at) < time.Second {
+		return cur.heap
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mem.snap.Store(&memSample{at: time.Now(), heap: ms.HeapAlloc})
+	return ms.HeapAlloc
 }
 
 // New validates the config and assembles the service routes.
@@ -133,6 +176,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5 * time.Second
 	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.NewRecorder(obs.DefaultRingSize)
+		cfg.Recorder.SetEnabled(true)
+	}
 	s := &Server{
 		cfg:   cfg,
 		batch: cfg.Batch,
@@ -140,7 +187,9 @@ func New(cfg Config) (*Server, error) {
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		start: time.Now(),
 		mux:   http.NewServeMux(),
+		rec:   cfg.Recorder,
 	}
+	s.httpm.init()
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.setChaos(cfg.Chaos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -148,6 +197,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/chaos", s.handleChaosGet)
 	s.mux.HandleFunc("POST /v1/chaos", s.handleChaosSet)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	// The cache probe never simulates, so it bypasses the admission
 	// semaphore like the other cheap read-only endpoints.

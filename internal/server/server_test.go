@@ -398,6 +398,7 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	values := map[string]float64{}
+	families := map[string]bool{}
 	for _, line := range strings.Split(string(data), "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -411,19 +412,31 @@ func TestMetricsExposition(t *testing.T) {
 			t.Fatalf("non-numeric metric value in %q", line)
 		}
 		values[fields[0]] = v
+		name, _, _ := strings.Cut(fields[0], "{")
+		families[name] = true
 	}
 	for _, want := range []string{
 		"samie_engine_requests_total", "samie_engine_executed_total", "samie_engine_hits_total",
 		"samie_engine_inflight", "samie_disk_cache_hits_total", "samie_disk_cache_misses_total",
 		"samie_http_requests_total", "samie_http_throttled_total", "samie_process_goroutines",
-		"samie_uptime_seconds",
+		"samie_uptime_seconds", "samie_build_info", "samie_http_request_seconds_bucket",
+		"samie_run_phase_seconds_bucket",
 	} {
-		if _, ok := values[want]; !ok {
-			t.Errorf("metric %s missing", want)
+		if !families[want] {
+			t.Errorf("metric family %s missing", want)
 		}
 	}
 	if values["samie_engine_executed_total"] != 1 {
 		t.Errorf("executed metric %v, want 1", values["samie_engine_executed_total"])
+	}
+	// The run request landed on POST /v1/runs with a 200; the labeled
+	// counter must say so.
+	if v := values[`samie_http_requests_total{route="/v1/runs",code="200"}`]; v != 1 {
+		t.Errorf("labeled run counter %v, want 1", v)
+	}
+	// The executed run must have observed the simulation phases.
+	if v := values[`samie_run_phase_seconds_count{phase="measured"}`]; v != 1 {
+		t.Errorf("measured phase count %v, want 1", v)
 	}
 }
 

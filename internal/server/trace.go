@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"samielsq/internal/obs"
+	"samielsq/pkg/client"
+)
+
+// handleTraceGet serves every retained span of one trace, oldest
+// first. 404 means "no spans retained" — never recorded (tracing
+// disabled, unknown ID) or already evicted from the ring — not an
+// invalid ID.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.rec.Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "trace not retained")
+		return
+	}
+	writeJSON(w, http.StatusOK, client.TraceResponse{TraceID: id, Spans: spans})
+}
+
+// handleTraces lists recent root spans, newest first. ?limit=N caps
+// the listing (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = n
+	}
+	roots := s.rec.Roots(limit)
+	if roots == nil {
+		// An empty recorder answers an empty list, not JSON null.
+		roots = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, roots)
+}

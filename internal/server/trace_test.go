@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"samielsq/internal/obs"
+	"samielsq/pkg/client"
+)
+
+// TestTraceEndpoints: a request carrying a traceparent header is
+// adopted into that trace, retrievable via GET /v1/trace/{id}, and
+// listed as a local root by GET /v1/traces; unknown IDs 404 and bad
+// limits 400.
+func TestTraceEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	parent := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", parent.TraceParent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/trace/" + parent.Trace.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeBody[client.TraceResponse](t, resp)
+	if tr.TraceID != parent.Trace.String() || len(tr.Spans) != 1 {
+		t.Fatalf("trace response %+v, want 1 span under %s", tr, parent.Trace)
+	}
+	sp := tr.Spans[0]
+	if sp.ParentID != parent.Span.String() {
+		t.Errorf("span parent %q, want the propagated span %s", sp.ParentID, parent.Span)
+	}
+	if !sp.Root {
+		t.Error("remote child span not marked as a local root")
+	}
+	if sp.Name != "GET /healthz" {
+		t.Errorf("span name %q, want GET /healthz", sp.Name)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/traces?limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := decodeBody[[]obs.TraceSummary](t, resp)
+	found := false
+	for _, r := range roots {
+		if r.TraceID == parent.Trace.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace %s missing from the roots listing: %+v", parent.Trace, roots)
+	}
+
+	// Unknown trace IDs are a 404, bad limits a 400.
+	for path, want := range map[string]int{
+		"/v1/trace/00000000000000000000000000000000": http.StatusNotFound,
+		"/v1/traces?limit=bogus":                     http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

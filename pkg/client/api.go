@@ -20,6 +20,7 @@ import (
 	"samielsq/internal/experiments"
 	"samielsq/internal/experiments/engine"
 	"samielsq/internal/lsq"
+	"samielsq/internal/obs"
 )
 
 // API is the samie-serve surface a driver consumes. *Client implements
@@ -154,6 +155,12 @@ type RunResponse struct {
 	// LSQEnergyNJ is the headline LSQ dynamic energy in nJ
 	// (conventional or SAMIE total, whichever the model accounts).
 	LSQEnergyNJ float64 `json:"lsq_energy_nj"`
+
+	// Phases is where the serving process spent wall-clock
+	// materializing this result (see internal/obs.Phase); a tier-served
+	// result reports only its lookup phases. Observability metadata:
+	// excluded from determinism comparisons.
+	Phases obs.PhaseTimes `json:"phases,omitzero"`
 }
 
 // Result converts the wire response back into a library RunResult.
@@ -164,10 +171,11 @@ type RunResponse struct {
 // the result carries a nil Hier, exactly like a disk-served one.
 func (r RunResponse) Result() experiments.RunResult {
 	return experiments.RunResult{
-		CPU:   r.CPU,
-		SAMIE: r.SAMIE,
-		Conv:  r.Conv,
-		Meter: r.Meter,
+		CPU:    r.CPU,
+		SAMIE:  r.SAMIE,
+		Conv:   r.Conv,
+		Meter:  r.Meter,
+		Phases: r.Phases,
 	}
 }
 
@@ -259,6 +267,12 @@ type SuiteEvent struct {
 	Done  int          `json:"done,omitempty"`
 	Total int          `json:"total,omitempty"`
 
+	// Trace is the serving request's span context as a W3C traceparent
+	// value, so a stream consumer (e.g. samie-cluster resuming a
+	// truncated stream) can attribute every delivered — and, by
+	// elimination, every undelivered — spec to its trace.
+	Trace string `json:"trace,omitempty"`
+
 	// error field
 	Error string `json:"error,omitempty"`
 }
@@ -294,7 +308,20 @@ type StatsResponse struct {
 	Goroutines    int     `json:"goroutines"`
 	HeapBytes     uint64  `json:"heap_bytes"`
 
+	// RunPhases are the replica's per-phase run-latency histograms
+	// (internal/obs.Phase definitions); phases never entered are
+	// omitted. samie-cluster -stats renders these as per-replica
+	// p50/p95/p99 summaries.
+	RunPhases obs.PhaseStats `json:"run_phases,omitempty"`
+
 	Chaos ChaosState `json:"chaos"`
+}
+
+// TraceResponse is the GET /v1/trace/{id} body: every span the
+// replica's recorder retains for one trace, oldest-first.
+type TraceResponse struct {
+	TraceID string           `json:"trace_id"`
+	Spans   []obs.SpanRecord `json:"spans"`
 }
 
 // ChaosRequest is the POST /v1/chaos body: a fault spec in the -chaos

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"samielsq/internal/obs"
 )
 
 // Client talks to a samie-serve instance. The zero value is not
@@ -118,6 +120,13 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 			return nil, fmt.Errorf("client: encoding %s %s: %w", method, path, err)
 		}
 	}
+	// Every request carries a W3C traceparent: the span already on ctx
+	// (a sweep's chunk span, a traced driver) when there is one,
+	// otherwise a fresh identity — so server-side logs and traces
+	// always have a correlation ID, traced or not. Computed before the
+	// attempt loop: transport retries are one logical request and reuse
+	// its identity.
+	traceParent := traceParentFor(ctx)
 	var resp *http.Response
 	for attempt := 0; ; attempt++ {
 		var body io.Reader
@@ -131,6 +140,7 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		req.Header.Set("traceparent", traceParent)
 		resp, err = c.hc.Do(req)
 		if err == nil {
 			break
@@ -353,4 +363,41 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	return string(data), err
+}
+
+// Trace fetches every span the server's recorder retains for one
+// trace ID (lowercase hex). The second return is false (nil error)
+// when the server holds no spans for the ID — never recorded, or
+// already evicted from the ring.
+func (c *Client) Trace(ctx context.Context, traceID string) (TraceResponse, bool, error) {
+	var out TraceResponse
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/trace/"+url.PathEscape(traceID), nil, &out)
+	if err != nil {
+		if ae, ok := err.(*APIError); ok && ae.Status == http.StatusNotFound {
+			return TraceResponse{}, false, nil
+		}
+		return TraceResponse{}, false, err
+	}
+	return out, true, nil
+}
+
+// Traces lists the server's recent root spans, newest-first; limit <=
+// 0 takes the server default.
+func (c *Client) Traces(ctx context.Context, limit int) ([]obs.TraceSummary, error) {
+	path := "/v1/traces"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out []obs.TraceSummary
+	err := c.roundTrip(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// traceParentFor renders the traceparent header for a request: the
+// identity of the span on ctx when one is there, else a fresh one.
+func traceParentFor(ctx context.Context) string {
+	if sc := obs.SpanContextFromContext(ctx); sc.IsValid() {
+		return sc.TraceParent()
+	}
+	return obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}.TraceParent()
 }

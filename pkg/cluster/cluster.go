@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"samielsq/internal/experiments"
+	"samielsq/internal/obs"
 	"samielsq/pkg/client"
 )
 
@@ -30,9 +33,11 @@ type ShardedClient struct {
 	bo          client.Backoff
 	retries429  int
 	retryBudget int
+	log         *slog.Logger
 
-	sweepMu   sync.Mutex
-	lastSweep SweepStats
+	sweepMu    sync.Mutex
+	lastSweep  SweepStats
+	sweepTrace string
 }
 
 // Option customizes a ShardedClient.
@@ -80,6 +85,17 @@ func WithBackoffSeed(seed uint64) Option {
 	return func(c *ShardedClient) { c.bo.Seed = seed }
 }
 
+// WithLogger routes the coordinator's operational log lines (stream
+// resumes, replica loss) to l; by default they are discarded so
+// library embedders stay quiet.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *ShardedClient) {
+		if l != nil {
+			c.log = l
+		}
+	}
+}
+
 // WithRetryBudget bounds the total number of shard retries (stream
 // resumes, re-shards after replica loss, throttle rounds) one RunSpecs
 // sweep may spend before giving up; default 32. See SweepStats.
@@ -112,6 +128,7 @@ func New(replicas []string, opts ...Option) (*ShardedClient, error) {
 		bo:          client.Backoff{Cap: 15 * time.Second, Seed: processSeed()},
 		retries429:  2,
 		retryBudget: 32,
+		log:         slog.New(slog.DiscardHandler),
 	}
 	for _, rep := range ring.Replicas() {
 		c.clients[rep] = client.New(rep)
@@ -399,8 +416,9 @@ func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error)
 	if err != nil {
 		return client.StatsResponse{}, err
 	}
-	var agg client.StatsResponse
+	agg := client.StatsResponse{RunPhases: obs.PhaseStats{}}
 	for _, st := range per {
+		agg.RunPhases.Add(st.RunPhases)
 		agg.Engine.Requests += st.Engine.Requests
 		agg.Engine.Executed += st.Engine.Executed
 		agg.Engine.Hits += st.Engine.Hits
@@ -490,4 +508,48 @@ func (c *ShardedClient) Health(ctx context.Context) error {
 		lastErr = fmt.Errorf("%s: %w", reps[i], err)
 	}
 	return fmt.Errorf("cluster: no healthy replica: %w", lastErr)
+}
+
+// SweepTraceID returns the trace ID of the most recent RunSpecs sweep
+// (also the one behind Suite/Scenario), or "" when tracing was
+// disabled during the sweep. Feed it to TraceSpans to reassemble the
+// fleet-wide trace tree.
+func (c *ShardedClient) SweepTraceID() string {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	return c.sweepTrace
+}
+
+// TraceSpans collects every span the fleet retained for one trace:
+// each replica's GET /v1/trace/{id} is queried concurrently and the
+// results are merged, with each span's "source" attribute set to the
+// replica URL that recorded it (coordinator-side spans are the
+// caller's to contribute — they live in its own obs recorder). A
+// replica that never saw the trace (404) contributes nothing; an
+// unreachable replica is skipped the same way, so the merged view is
+// best-effort by design. The caller typically appends its local
+// recorder's spans and hands the lot to obs.ChromeTrace.
+func (c *ShardedClient) TraceSpans(ctx context.Context, traceID string) []obs.SpanRecord {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var all []obs.SpanRecord
+	for _, rep := range c.Replicas() {
+		wg.Add(1)
+		go func(rep string) {
+			defer wg.Done()
+			tr, ok, err := c.clients[rep].Trace(ctx, traceID)
+			if err != nil || !ok {
+				return
+			}
+			for i := range tr.Spans {
+				tr.Spans[i].Attrs = append(tr.Spans[i].Attrs, obs.SpanAttr{Key: "source", Value: rep})
+			}
+			mu.Lock()
+			all = append(all, tr.Spans...)
+			mu.Unlock()
+		}(rep)
+	}
+	wg.Wait()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
+	return all
 }

@@ -9,6 +9,7 @@ import (
 
 	"samielsq/internal/experiments"
 	"samielsq/internal/experiments/engine"
+	"samielsq/internal/obs"
 	"samielsq/pkg/client"
 )
 
@@ -102,6 +103,22 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 	results := make(map[string]client.RunResponse, total)
 	var mu sync.Mutex // guards pending + results + onProgress
 
+	// Root the sweep in one trace: every shard chunk below opens a
+	// child span whose context rides that chunk's Suite requests as a
+	// traceparent header, so the whole multi-replica sweep reconstructs
+	// as a single tree (coordinator spans locally, replica spans via
+	// GET /v1/trace/{id} — see TraceSpans). With tracing disabled the
+	// span is nil and every call on it is a no-op.
+	ctx, sweepSpan := obs.StartSpan(ctx, "sweep")
+	sweepSpan.SetAttr("specs", fmt.Sprintf("%d", total))
+	defer sweepSpan.End()
+	c.sweepMu.Lock()
+	c.sweepTrace = ""
+	if sc := sweepSpan.Context(); sc.IsValid() {
+		c.sweepTrace = sc.Trace.String()
+	}
+	c.sweepMu.Unlock()
+
 	sweep := &sweepState{budget: c.retryBudget}
 	sweep.stats.RetryBudget = c.retryBudget
 	tripsBefore, _ := c.breakers.snapshot()
@@ -168,9 +185,18 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 			wg.Add(1)
 			go func(rep string, shard []shardItem) {
 				defer wg.Done()
+				// lastTrace remembers the server-side traceparent of the
+				// most recent run event this shard's streams delivered —
+				// only this goroutine's stream callbacks write it, so no
+				// extra lock. When a stream dies it names the trace the
+				// resume re-requests work under.
+				lastTrace := ""
 				onEvent := func(ev client.SuiteEvent) {
 					if ev.Type != "run" || ev.Run == nil {
 						return
+					}
+					if ev.Trace != "" {
+						lastTrace = ev.Trace
 					}
 					mu.Lock()
 					defer mu.Unlock()
@@ -205,60 +231,86 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 				for start := 0; start < len(shard); start += shardChunk {
 					end := min(start+shardChunk, len(shard))
 					chunk := shard[start:end]
-					for {
-						reqs := undelivered(chunk)
-						if len(reqs) == 0 {
-							break
-						}
-						_, err := c.clients[rep].Suite(ctx, client.SuiteRequest{Specs: reqs, Peers: peers}, onEvent)
-						if err == nil {
-							break
-						}
-						if ctx.Err() != nil {
-							return
-						}
-						if permanent(err) {
-							// The chunk itself was rejected (4xx): no
-							// replica will answer differently, so fail the
-							// sweep fast instead of penalizing healthy
-							// replicas and re-sending a doomed request.
-							errsMu.Lock()
-							if fatalErr == nil {
-								fatalErr = fmt.Errorf("%s rejected the shard: %w", rep, err)
+					// Each chunk gets a child span of the sweep root; its
+					// context rides the chunk's Suite requests (including
+					// resumes, which stay under the same chunk span) as
+					// the traceparent header.
+					chunkCtx, chunkSpan := obs.StartSpan(ctx, "sweep.chunk")
+					chunkSpan.SetAttr("replica", rep)
+					chunkSpan.SetAttr("specs", fmt.Sprintf("%d", len(chunk)))
+					chunkDone := func() bool {
+						defer chunkSpan.End()
+						for {
+							reqs := undelivered(chunk)
+							if len(reqs) == 0 {
+								return true
 							}
-							errsMu.Unlock()
-							return
-						}
-						if client.IsThrottled(err) {
-							// Saturated, not dead: keep the replica in the
-							// ring and let the round honor its hint.
-							errsMu.Lock()
-							throttleErr = err
-							errsMu.Unlock()
-							return
-						}
-						// The stream died mid-body. Resume against the SAME
-						// replica first: it has kept simulating the chunk and
-						// memoized the results, so the re-request drains from
-						// its cache without re-executing anything — moving
-						// the work elsewhere would double-execute it.
-						if resumes < maxStreamResumes && sweep.spend(1) {
-							resumes++
-							sweep.mu.Lock()
-							sweep.stats.Resumes++
-							sweep.mu.Unlock()
-							if werr := c.bo.Sleep(ctx, rep, resumes-1, err); werr != nil {
-								return
+							_, err := c.clients[rep].Suite(chunkCtx, client.SuiteRequest{Specs: reqs, Peers: peers}, onEvent)
+							if err == nil {
+								return true
 							}
-							continue
+							if ctx.Err() != nil {
+								return false
+							}
+							if permanent(err) {
+								// The chunk itself was rejected (4xx): no
+								// replica will answer differently, so fail the
+								// sweep fast instead of penalizing healthy
+								// replicas and re-sending a doomed request.
+								errsMu.Lock()
+								if fatalErr == nil {
+									fatalErr = fmt.Errorf("%s rejected the shard: %w", rep, err)
+								}
+								errsMu.Unlock()
+								return false
+							}
+							if client.IsThrottled(err) {
+								// Saturated, not dead: keep the replica in the
+								// ring and let the round honor its hint.
+								errsMu.Lock()
+								throttleErr = err
+								errsMu.Unlock()
+								return false
+							}
+							// The stream died mid-body. Resume against the SAME
+							// replica first: it has kept simulating the chunk and
+							// memoized the results, so the re-request drains from
+							// its cache without re-executing anything — moving
+							// the work elsewhere would double-execute it.
+							if resumes < maxStreamResumes && sweep.spend(1) {
+								resumes++
+								sweep.mu.Lock()
+								sweep.stats.Resumes++
+								sweep.mu.Unlock()
+								// Name the trace the re-requested specs belong
+								// to, so a truncated sweep is greppable from
+								// the coordinator log straight into the trace
+								// view.
+								tp := lastTrace
+								if tp == "" {
+									tp = chunkSpan.TraceParent()
+								}
+								c.log.Info("shard stream died, resuming in place",
+									"replica", rep, "undelivered", len(reqs),
+									"resume", resumes, "trace", tp, "err", err)
+								if werr := c.bo.Sleep(ctx, rep, resumes-1, err); werr != nil {
+									return false
+								}
+								continue
+							}
+							// Out of resumes (or budget): the replica is lost.
+							// Its breaker takes the failure and the next round
+							// re-shards whatever it had not delivered.
+							c.markDown(rep)
+							c.log.Warn("replica lost mid-sweep, re-sharding its work",
+								"replica", rep, "undelivered", len(reqs), "err", err)
+							errsMu.Lock()
+							lastErr = fmt.Errorf("%s: %w", rep, err)
+							errsMu.Unlock()
+							return false
 						}
-						// Out of resumes (or budget): the replica is lost.
-						// Its breaker takes the failure and the next round
-						// re-shards whatever it had not delivered.
-						c.markDown(rep)
-						errsMu.Lock()
-						lastErr = fmt.Errorf("%s: %w", rep, err)
-						errsMu.Unlock()
+					}()
+					if !chunkDone {
 						return
 					}
 				}
