@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +70,7 @@ func main() {
 	baseline := flag.String("baseline", "", "compare the profile session against this BENCH_*.json (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional throughput regression vs -baseline")
 	traceOut := flag.String("trace-out", "", "write this invocation's span trace as Chrome trace-event JSON here (open in Perfetto); for the fleet-wide sweep view use samie-cluster -trace-out")
+	timelineOut := flag.String("timeline-out", "", "write every locally simulated run's interval timeline as NDJSON here (one meta line + one sample line per interval, per run)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -247,6 +249,11 @@ func main() {
 			fmt.Printf("disk cache %s: %d hits, %d misses, %d writes\n", dir, ds.Hits, ds.Misses, ds.Writes)
 		}
 	}
+	if *timelineOut != "" {
+		if err := writeTimelines(*timelineOut, batch.Timelines()); err != nil {
+			fmt.Fprintf(os.Stderr, "timeline-out: %v\n", err)
+		}
+	}
 	// Flush the disk cache's debounced index before exiting.
 	if err := batch.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "cache close: %v\n", err)
@@ -254,14 +261,53 @@ func main() {
 	writeTrace(*traceOut)
 }
 
-// writeTrace exports every span this process recorded as Chrome
-// trace-event JSON. No-op without -trace-out.
+// writeTimelines dumps the batch's retained run timelines as NDJSON:
+// for each run a meta line ({"key","benchmark","model","stride",
+// "samples"}) followed by one line per interval sample. Runs served
+// from the disk cache carry no timeline and are absent.
+func writeTimelines(path string, tls []experiments.RunTimeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	var samples int
+	for _, tl := range tls {
+		meta := struct {
+			Key       string `json:"key"`
+			Benchmark string `json:"benchmark"`
+			Model     string `json:"model"`
+			Stride    uint64 `json:"stride"`
+			Samples   int    `json:"samples"`
+		}{tl.Key, tl.Benchmark, tl.Model, tl.Stride, len(tl.Samples)}
+		if err := enc.Encode(meta); err != nil {
+			f.Close()
+			return err
+		}
+		for _, ts := range tl.Samples {
+			if err := enc.Encode(ts); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		samples += len(tl.Samples)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "timeline: %d runs, %d samples written to %s\n", len(tls), samples, path)
+	return nil
+}
+
+// writeTrace exports every span and counter track this process
+// recorded as Chrome trace-event JSON. No-op without -trace-out.
 func writeTrace(path string) {
 	if path == "" {
 		return
 	}
 	spans := obs.Default().Spans()
-	data, err := obs.ChromeTrace(spans)
+	tracks := obs.Default().Counters()
+	data, err := obs.ChromeTraceWithCounters(spans, tracks)
 	if err == nil {
 		err = os.WriteFile(path, data, 0o644)
 	}
@@ -269,5 +315,5 @@ func writeTrace(path string) {
 		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), path)
+	fmt.Fprintf(os.Stderr, "trace: %d spans, %d counter tracks written to %s\n", len(spans), len(tracks), path)
 }

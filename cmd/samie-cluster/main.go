@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"sort"
@@ -30,6 +31,7 @@ import (
 
 	"samielsq/internal/experiments"
 	"samielsq/internal/obs"
+	"samielsq/pkg/client"
 	"samielsq/pkg/cluster"
 )
 
@@ -180,6 +182,45 @@ func main() {
 		if id := c.SweepTraceID(); id != "" {
 			fmt.Fprintf(os.Stderr, "cluster sweep trace: %s\n", id)
 		}
+		agg, err := c.Stats(ctx)
+		if err == nil {
+			printOccupancyTable(os.Stderr, agg)
+		}
+	}
+}
+
+// printOccupancyTable renders the fleet-wide interval-telemetry
+// rollup: one row per benchmark personality with mean/peak structure
+// occupancy and sampled IPC, then the modeled per-structure energy
+// split. Silent when no replica retained telemetry (all runs were
+// cache hits, or the fleet predates interval sampling).
+func printOccupancyTable(w io.Writer, agg client.StatsResponse) {
+	if len(agg.TimelineStats) > 0 {
+		benches := make([]string, 0, len(agg.TimelineStats))
+		for b := range agg.TimelineStats {
+			benches = append(benches, b)
+		}
+		sort.Strings(benches)
+		fmt.Fprintf(w, "cluster occupancy (sampled intervals, per personality):\n")
+		fmt.Fprintf(w, "  %-12s %6s %10s %9s %9s %9s %9s %8s\n",
+			"benchmark", "runs", "samples", "lsq-mean", "lsq-peak", "rob-mean", "rob-peak", "ipc")
+		for _, b := range benches {
+			oa := agg.TimelineStats[b]
+			fmt.Fprintf(w, "  %-12s %6d %10d %9.1f %9d %9.1f %9d %8.3f\n",
+				b, oa.Runs, oa.Samples, oa.MeanLSQ(), oa.PeakLSQ, oa.MeanROB(), oa.PeakROB, oa.MeanIPC())
+		}
+	}
+	if len(agg.EnergyPJ) > 0 {
+		structs := make([]string, 0, len(agg.EnergyPJ))
+		for k := range agg.EnergyPJ {
+			structs = append(structs, k)
+		}
+		sort.Strings(structs)
+		var parts []string
+		for _, k := range structs {
+			parts = append(parts, fmt.Sprintf("%s=%.3guJ", k, agg.EnergyPJ[k]*1e-6))
+		}
+		fmt.Fprintf(w, "cluster energy (sampled): %s\n", strings.Join(parts, " "))
 	}
 }
 
@@ -216,20 +257,23 @@ func writeSweepTrace(ctx context.Context, c *cluster.ShardedClient, traceIDs []s
 		spans[i].Attrs = append(spans[i].Attrs, obs.SpanAttr{Key: "source", Value: "coordinator"})
 	}
 	seen := map[string]bool{}
+	var tracks []obs.CounterTrack
 	for _, id := range traceIDs {
 		if id == "" || seen[id] {
 			continue
 		}
 		seen[id] = true
-		spans = append(spans, c.TraceSpans(ctx, id)...)
+		s, t := c.TraceData(ctx, id)
+		spans = append(spans, s...)
+		tracks = append(tracks, t...)
 	}
-	data, err := obs.ChromeTrace(spans)
+	data, err := obs.ChromeTraceWithCounters(spans, tracks)
 	if err != nil {
 		return fmt.Errorf("trace-out: %w", err)
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("trace-out: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", len(spans), path)
+	fmt.Fprintf(os.Stderr, "trace: %d spans, %d counter tracks written to %s\n", len(spans), len(tracks), path)
 	return nil
 }

@@ -169,8 +169,12 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		log.Info("pprof listening", "addr", pln.Addr().String())
 		go func() {
+			// The operator asked for profiling; losing it silently would
+			// leave an incident undebuggable, so a dead pprof server
+			// takes the process down rather than limping on without it.
 			if err := http.Serve(pln, mux); err != nil {
-				log.Warn("pprof server stopped", "err", err)
+				log.Error("pprof server failed", "err", err)
+				os.Exit(1)
 			}
 		}()
 	}

@@ -813,6 +813,33 @@ func caseClusterSweepTrace(t *testing.T) {
 		}
 	}
 
+	// Counter tracks: every replica that simulated work retained
+	// occupancy tracks under the sweep trace, each tagged with its
+	// source replica, and the merged Chrome export renders them as
+	// counter ("C") events alongside the span tree.
+	_, tracks := cs.TraceData(ctx, traceID)
+	if len(tracks) == 0 {
+		t.Fatal("traced sweep retained no counter tracks")
+	}
+	for _, tr := range tracks {
+		if tr.TraceID != traceID {
+			t.Errorf("counter track %q carries trace %s, want %s", tr.Name, tr.TraceID, traceID)
+		}
+		if tr.Source != tsA.URL && tr.Source != tsB.URL {
+			t.Errorf("counter track %q has source %q, want a replica URL", tr.Name, tr.Source)
+		}
+		if len(tr.Samples) == 0 {
+			t.Errorf("counter track %q has no samples", tr.Name)
+		}
+	}
+	chrome, err := obs.ChromeTraceWithCounters(remote, tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(chrome), `"ph": "C"`) {
+		t.Error("merged Chrome export carries no counter events")
+	}
+
 	// Phase accounting: the aggregate measured-phase count covers the
 	// whole sweep, and each replica observed it once per simulation it
 	// executed.
@@ -823,6 +850,15 @@ func caseClusterSweepTrace(t *testing.T) {
 	}
 	if n := agg.RunPhases["measured"].Count; n != uint64(len(specs)) {
 		t.Errorf("aggregate measured-phase observations = %d, want %d", n, len(specs))
+	}
+	// The fleet-wide timeline rollup counts each simulation exactly
+	// once: only the replica that executed a spec retains its telemetry.
+	var occRuns int64
+	for _, oa := range agg.TimelineStats {
+		occRuns += oa.Runs
+	}
+	if occRuns != int64(len(specs)) {
+		t.Errorf("aggregate occupancy rollup covers %d runs, want %d", occRuns, len(specs))
 	}
 	for name, b := range map[string]*samielsq.Batch{"A": batchA, "B": batchB} {
 		ps := b.PhaseStats()

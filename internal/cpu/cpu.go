@@ -28,6 +28,7 @@ import (
 	"samielsq/internal/isa"
 	"samielsq/internal/lsq"
 	"samielsq/internal/mem"
+	"samielsq/internal/obs"
 	"samielsq/internal/tlb"
 )
 
@@ -388,8 +389,20 @@ type CPU struct {
 	// LegacyIssueWalk.
 	ev *eventSched
 
+	// sampler is the optional interval telemetry collector
+	// (telemetry.go); nil unless attached, and free when disabled.
+	sampler  *obs.IntervalSampler
+	sampBase sampleBase
+
+	// flight is the optional per-cycle issue recorder (flight.go),
+	// attached only by diagnostic tests.
+	flight *FlightRecorder
+
 	res Result
 }
+
+// SetFlightRecorder attaches (or with nil detaches) a flight recorder.
+func (c *CPU) SetFlightRecorder(f *FlightRecorder) { c.flight = f }
 
 // New wires a CPU together. Nil subsystems get paper defaults; meter
 // may be nil (a fresh meter is created).
@@ -490,6 +503,10 @@ func (c *CPU) RunWarmTimed(warmInsts, measureInsts uint64) (Result, time.Duratio
 		c.itlb.ResetStats()
 		c.bp.ResetStats()
 		c.model.ResetStats()
+		// Telemetry covers the measured portion only: drop warmup
+		// samples and re-baseline the deltas against the reset meter.
+		c.sampler.Reset(c.cycle)
+		c.resetSampleBase()
 	}
 	start := time.Now()
 	res := c.Run(measureInsts)
@@ -527,6 +544,7 @@ func (c *CPU) step() {
 	c.commit(&dports)
 	if c.checkDeadlock() {
 		c.model.AccountCycle()
+		c.endOfCycleTelemetry()
 		return
 	}
 	c.drainAddrBuffer()
@@ -538,6 +556,7 @@ func (c *CPU) step() {
 	c.dispatch()
 	c.fetch()
 	c.model.AccountCycle()
+	c.endOfCycleTelemetry()
 }
 
 // ---- Commit ---------------------------------------------------------------
@@ -951,6 +970,9 @@ func (c *CPU) issueInt(d *dynInst, aluUsed *int) bool {
 		d.state = stIssued
 		d.readyAt = c.cycle + 1
 	}
+	if c.flight != nil {
+		c.flight.noteIssue(d.in.Seq)
+	}
 	return true
 }
 
@@ -977,6 +999,9 @@ func (c *CPU) issueFP(d *dynInst) bool {
 	default:
 		d.state = stIssued
 		d.readyAt = c.cycle + 1
+	}
+	if c.flight != nil {
+		c.flight.noteIssue(d.in.Seq)
 	}
 	return true
 }

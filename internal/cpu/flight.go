@@ -1,0 +1,157 @@
+package cpu
+
+// Flight recorder: a diagnostic ring of recent per-cycle issue
+// activity, attached by the scheduler-differential and golden tests so
+// a "results differ" failure names the first divergent cycle and shows
+// what each issue engine did around it. Never attached in production
+// paths — the per-cycle hook is a nil check there.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FlightFrame is one cycle's issue activity: the sequence numbers that
+// entered execution this cycle plus the scheduler's load at the end of
+// the cycle.
+type FlightFrame struct {
+	Cycle   uint64
+	Issued  []uint64
+	ROB     int
+	Waiters int
+	Wheel   int
+	Attn    int
+}
+
+// FlightRecorder keeps a bounded ring of recent FlightFrames and a
+// compact per-cycle fingerprint of the issue set for every recorded
+// cycle, so two runs can be compared cycle-by-cycle without retaining
+// full frames for the whole run.
+type FlightRecorder struct {
+	frames []FlightFrame
+	next   int
+	full   bool
+
+	firstCycle uint64   // cycle of prints[0]
+	prints     []uint64 // FNV-1a of each cycle's issue set, in order
+	cur        []uint64 // seqs issued in the in-progress cycle
+	limit      uint64   // stop recording after this cycle; 0 = unlimited
+}
+
+// DefaultFlightDepth is how many full frames a recorder retains.
+const DefaultFlightDepth = 64
+
+// NewFlightRecorder builds a recorder retaining up to depth full
+// frames (DefaultFlightDepth when depth <= 0).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{frames: make([]FlightFrame, depth)}
+}
+
+// LimitCycles stops recording after the given cycle, so a re-run
+// pointed at a known divergence keeps the frames *around* it instead
+// of letting later cycles evict them. Zero removes the limit.
+func (f *FlightRecorder) LimitCycles(last uint64) { f.limit = last }
+
+// noteIssue marks one instruction as issued in the current cycle
+// (called from issueInt/issueFP when the instruction wins its slot).
+func (f *FlightRecorder) noteIssue(seq uint64) {
+	f.cur = append(f.cur, seq)
+}
+
+// endCycle closes the current cycle: fingerprint the issue set, retain
+// a full frame in the ring, reset the scratch.
+func (f *FlightRecorder) endCycle(cycle uint64, rob, waiters, wheel, attn int) {
+	if f.limit != 0 && cycle > f.limit {
+		f.cur = f.cur[:0]
+		return
+	}
+	if len(f.prints) == 0 {
+		f.firstCycle = cycle
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, s := range f.cur {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(s >> (8 * i)))
+			h *= fnvPrime
+		}
+	}
+	f.prints = append(f.prints, h)
+
+	fr := &f.frames[f.next]
+	fr.Cycle = cycle
+	fr.Issued = append(fr.Issued[:0], f.cur...)
+	fr.ROB, fr.Waiters, fr.Wheel, fr.Attn = rob, waiters, wheel, attn
+	f.next++
+	if f.next == len(f.frames) {
+		f.next = 0
+		f.full = true
+	}
+	f.cur = f.cur[:0]
+}
+
+// Cycles reports how many cycles the recorder fingerprinted.
+func (f *FlightRecorder) Cycles() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.prints)
+}
+
+// Frames returns the retained frames oldest-first.
+func (f *FlightRecorder) Frames() []FlightFrame {
+	if f == nil {
+		return nil
+	}
+	n := f.next
+	if f.full {
+		n = len(f.frames)
+	}
+	out := make([]FlightFrame, 0, n)
+	if f.full {
+		out = append(out, f.frames[f.next:]...)
+	}
+	out = append(out, f.frames[:f.next]...)
+	return out
+}
+
+// FirstDivergence compares two recorders' per-cycle issue fingerprints
+// and returns the first cycle where they differ (a shorter recording
+// diverges at its end). ok is false when the recordings agree over
+// their common length and are equally long.
+func FirstDivergence(a, b *FlightRecorder) (cycle uint64, ok bool) {
+	if a == nil || b == nil {
+		return 0, false
+	}
+	n := min(len(a.prints), len(b.prints))
+	for i := 0; i < n; i++ {
+		if a.prints[i] != b.prints[i] {
+			return a.firstCycle + uint64(i), true
+		}
+	}
+	if len(a.prints) != len(b.prints) {
+		return a.firstCycle + uint64(n), true
+	}
+	return 0, false
+}
+
+// Dump renders the retained frames for a test failure message: one
+// line per cycle with the issued sequence numbers and scheduler load.
+func (f *FlightRecorder) Dump() string {
+	frames := f.Frames()
+	if len(frames) == 0 {
+		return "(no frames recorded)"
+	}
+	var b strings.Builder
+	for _, fr := range frames {
+		fmt.Fprintf(&b, "cycle %6d: issued=%v rob=%d waiters=%d wheel=%d attn=%d\n",
+			fr.Cycle, fr.Issued, fr.ROB, fr.Waiters, fr.Wheel, fr.Attn)
+	}
+	return b.String()
+}

@@ -45,17 +45,26 @@ func TestSchedulerDifferential(t *testing.T) {
 			t.Run(bench+"/"+mname, func(t *testing.T) {
 				t.Parallel()
 				p := trace.MustPersonality(bench)
-				run := func(legacy bool) (Result, energy.Meter) {
+				run := func(legacy bool) (Result, energy.Meter, *FlightRecorder) {
 					cfg := PaperConfig()
 					cfg.LegacyIssueWalk = legacy
 					m := energy.NewMeter()
 					c := New(cfg, trace.NewGenerator(p), mk(m), nil, nil, nil, m)
-					return c.Run(insts), *m
+					fr := NewFlightRecorder(16)
+					c.SetFlightRecorder(fr)
+					return c.Run(insts), *m, fr
 				}
-				wakeup, wakeupE := run(false)
-				legacy, legacyE := run(true)
+				wakeup, wakeupE, wakeupFR := run(false)
+				legacy, legacyE, legacyFR := run(true)
 				if wakeup != legacy {
-					t.Fatalf("wakeup scheduler diverged from the legacy walk:\nwakeup: %+v\nlegacy: %+v", wakeup, legacy)
+					// The flight recorders turn "results differ" into a
+					// cycle-level diagnosis: first divergent issue set,
+					// plus each engine's last recorded frames.
+					if cyc, ok := FirstDivergence(wakeupFR, legacyFR); ok {
+						t.Errorf("first divergent issue set at cycle %d", cyc)
+					}
+					t.Fatalf("wakeup scheduler diverged from the legacy walk:\nwakeup: %+v\nlegacy: %+v\nwakeup tail:\n%slegacy tail:\n%s",
+						wakeup, legacy, wakeupFR.Dump(), legacyFR.Dump())
 				}
 				// Energy is part of the contract: LSQ models charge
 				// CAM/entry energy per model call, so the wakeup path

@@ -24,12 +24,13 @@ import (
 // counts toward exactly one of Executed, Hits or Canceled, so
 // Requests = Executed + Hits + Canceled once the scheduler is idle.
 type Stats struct {
-	Requests  int64 // total Do/DoCtx calls
-	Executed  int64 // jobs that did the work themselves (distinct keys, minus external-tier hits)
-	Hits      int64 // requests served a completed result (memoized, coalesced, or an external tier)
-	Inflight  int64 // jobs holding a worker slot right now
-	Canceled  int64 // requests abandoned via context, or released unserved by a withdrawn owner
-	Evictions int64 // completed results dropped by the LRU bound
+	Requests   int64 // total Do/DoCtx calls
+	Executed   int64 // jobs that did the work themselves (distinct keys, minus external-tier hits)
+	Hits       int64 // requests served a completed result (memoized, coalesced, or an external tier)
+	Inflight   int64 // jobs holding a worker slot right now
+	QueueDepth int64 // owning requests waiting for a worker slot right now
+	Canceled   int64 // requests abandoned via context, or released unserved by a withdrawn owner
+	Evictions  int64 // completed results dropped by the LRU bound
 }
 
 // HitRate returns Hits/Requests, or 0 with no requests.
@@ -61,6 +62,7 @@ type Scheduler[K comparable, V any] struct {
 	hits      atomic.Int64
 	evictions atomic.Int64
 	inflight  atomic.Int64
+	queued    atomic.Int64 // owners blocked on slot acquisition
 	canceled  atomic.Int64
 	external  atomic.Int64 // jobs whose run() was served by an external tier (see NoteExternalHit)
 }
@@ -146,9 +148,12 @@ func (s *Scheduler[K, V]) DoCtx(ctx context.Context, key K, run func() V) (V, er
 	s.jobs[key] = j
 	s.mu.Unlock()
 
+	s.queued.Add(1)
 	select {
 	case s.slots <- struct{}{}:
+		s.queued.Add(-1)
 	case <-ctx.Done():
+		s.queued.Add(-1)
 		s.withdraw(key, j, ctx.Err())
 		return *new(V), ctx.Err()
 	}
@@ -328,11 +333,12 @@ func (s *Scheduler[K, V]) Stats() Stats {
 		executed = 0
 	}
 	return Stats{
-		Requests:  s.requests.Load(),
-		Executed:  executed,
-		Hits:      s.hits.Load() + ext,
-		Inflight:  s.inflight.Load(),
-		Canceled:  s.canceled.Load(),
-		Evictions: s.evictions.Load(),
+		Requests:   s.requests.Load(),
+		Executed:   executed,
+		Hits:       s.hits.Load() + ext,
+		Inflight:   s.inflight.Load(),
+		QueueDepth: s.queued.Load(),
+		Canceled:   s.canceled.Load(),
+		Evictions:  s.evictions.Load(),
 	}
 }

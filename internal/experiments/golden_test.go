@@ -39,6 +39,9 @@ func TestSuiteGolden(t *testing.T) {
 		line, col := diffAt(got, string(want))
 		t.Fatalf("suite output differs from golden at line %d col %d\n"+
 			"regenerate with UPDATE_GOLDEN=1 only if the change is intended\n"+
+			"for a cycle-level diagnosis of a simulation divergence, run the\n"+
+			"scheduler differential (go test ./internal/cpu -run SchedulerDifferential):\n"+
+			"its flight recorders name the first divergent issue cycle\n"+
 			"got:\n%s", line, col, got)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -87,6 +88,14 @@ type RunResult struct {
 	// output: it is excluded from disk artifacts and determinism
 	// comparisons.
 	Phases obs.PhaseTimes
+
+	// Timeline is the run's interval telemetry (occupancy, IPC,
+	// per-structure energy deltas; see obs.IntervalSampler). Like
+	// Phases it is observability metadata outside the deterministic
+	// payload: excluded from disk artifacts, so only results this
+	// process simulated carry one — disk- and peer-served results
+	// report nil.
+	Timeline *obs.Timeline
 }
 
 // LSQEnergyNJ returns the headline LSQ dynamic energy in nJ: the
@@ -188,11 +197,19 @@ func runNormalized(spec RunSpec) RunResult {
 
 	hier := mem.NewPaper()
 	c := cpu.New(*spec.CPU, trace.SharedStream(p), model, hier, tlb.New(tlb.PaperDTLB()), nil, meter)
+	// Every fresh simulation carries interval telemetry: the sampler
+	// fires once per stride (default every 4096 cycles), so its cost
+	// is unmeasurable against the simulation itself, and the samples
+	// never feed back into architectural or metered state.
+	sampler := obs.NewIntervalSampler(0, 0)
+	sampler.SetEnabled(true)
+	c.SetSampler(sampler)
 	res := RunResult{Spec: spec, Meter: meter}
 	var warmDur, measDur time.Duration
 	res.CPU, warmDur, measDur = c.RunWarmTimed(spec.Warmup, spec.Insts)
 	res.Phases.Set(obs.PhaseWarmup, warmDur)
 	res.Phases.Set(obs.PhaseMeasured, measDur)
+	res.Timeline = sampler.Snapshot()
 	res.Hier = hier
 	if samie != nil {
 		res.SAMIE = samie.Stats()
@@ -220,6 +237,14 @@ type Batch struct {
 
 	// phase holds one latency histogram per obs.Phase, fed by jobFor.
 	phase [obs.NumPhases]*obs.Histogram
+
+	// Telemetry rollups fed at simulate time (timeline.go): occupancy
+	// aggregates per benchmark, simulated dynamic energy per structure,
+	// and a bounded retention of raw timelines for -timeline-out.
+	occMu     sync.Mutex
+	occ       map[string]*obs.OccupancyAgg
+	energyPJ  map[string]float64
+	timelines []RunTimeline
 }
 
 // NewBatch returns a batch bounded to `workers` concurrent
@@ -228,6 +253,8 @@ func NewBatch(workers int) *Batch {
 	b := &Batch{
 		sched:     engine.New[string, RunResult](workers),
 		peerFetch: obs.NewHistogram(fetchBuckets),
+		occ:       map[string]*obs.OccupancyAgg{},
+		energyPJ:  map[string]float64{},
 	}
 	for i := range b.phase {
 		b.phase[i] = obs.NewHistogram(obs.PhaseBuckets)
@@ -353,9 +380,11 @@ func (b *Batch) jobFor(ctx context.Context, n RunSpec, key string) func() RunRes
 			b.peerMisses.Add(1)
 		}
 		span.SetAttr("tier", "simulate")
+		simStart := time.Now()
 		_, sspan := obs.StartSpan(runCtx, "simulate")
 		r := runNormalized(n)
 		sspan.End()
+		b.noteSimulated(runCtx, n, r, simStart, time.Since(simStart))
 		b.phase[obs.PhaseWarmup].Observe(time.Duration(r.Phases.Warmup * float64(time.Second)))
 		b.phase[obs.PhaseMeasured].Observe(time.Duration(r.Phases.Measured * float64(time.Second)))
 		pt.Warmup, pt.Measured = r.Phases.Warmup, r.Phases.Measured

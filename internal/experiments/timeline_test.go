@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunTimelineSimulated: a locally simulated run carries interval
+// telemetry covering its measured window, and the batch folds it into
+// the per-benchmark occupancy and energy rollups.
+func TestRunTimelineSimulated(t *testing.T) {
+	b := NewBatch(1)
+	spec := cacheTestSpec()
+	r := b.Run(spec)
+	if r.Timeline == nil || len(r.Timeline.Samples) == 0 {
+		t.Fatal("simulated run carries no timeline")
+	}
+	if r.Timeline.Stride == 0 {
+		t.Fatal("timeline stride unset")
+	}
+	for _, ts := range r.Timeline.Samples {
+		if ts.ROB < 0 || ts.LSQ < 0 || ts.IPC < 0 {
+			t.Fatalf("implausible sample: %+v", ts)
+		}
+	}
+
+	occ := b.TimelineStats()
+	agg, ok := occ[spec.Benchmark]
+	if !ok || agg.Runs != 1 || agg.Samples == 0 {
+		t.Fatalf("occupancy rollup missing the run: %+v", occ)
+	}
+	if agg.MeanROB() <= 0 {
+		t.Fatalf("mean ROB occupancy %v, want > 0", agg.MeanROB())
+	}
+	energy := b.EnergyPJ()
+	var total float64
+	for _, v := range energy {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatalf("energy rollup empty: %+v", energy)
+	}
+
+	tls := b.Timelines()
+	if len(tls) != 1 || tls[0].Benchmark != spec.Benchmark || len(tls[0].Samples) == 0 {
+		t.Fatalf("retained timelines wrong: %+v", tls)
+	}
+	if tls[0].Key != Key(spec) {
+		t.Fatalf("timeline key %q != spec key %q", tls[0].Key, Key(spec))
+	}
+}
+
+// TestTimelineOutsideDeterministicPayload: telemetry must never leak
+// into the determinism contract. The disk artifact strips it — a
+// second batch over the same cache serves the identical simulated
+// result with a nil Timeline — and the rollups count only local
+// simulations.
+func TestTimelineOutsideDeterministicPayload(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := b1.Run(cacheTestSpec())
+	if first.Timeline == nil {
+		t.Fatal("setup: simulated run carries no timeline")
+	}
+
+	b2, err := NewBatchWithCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := b2.Run(cacheTestSpec())
+	if second.Timeline != nil {
+		t.Fatal("disk-served result carries a timeline; the artifact must strip telemetry")
+	}
+	// Identical simulation payload regardless of the telemetry side
+	// channel.
+	if first.SAMIE != second.SAMIE || first.Conv != second.Conv {
+		t.Fatalf("disk round trip changed the deterministic payload:\nfirst: %+v\nsecond: %+v", first, second)
+	}
+	if len(b2.TimelineStats()) != 0 || len(b2.Timelines()) != 0 {
+		t.Error("tier-served run leaked into the timeline rollups")
+	}
+
+	// The memoized second request reuses the first result, timeline
+	// included, without double-counting the rollup.
+	again := b1.Run(cacheTestSpec())
+	if again.Timeline == nil {
+		t.Fatal("memoized hit lost the timeline")
+	}
+	if agg := b1.TimelineStats()[cacheTestSpec().Benchmark]; agg.Runs != 1 {
+		t.Fatalf("memoized hit double-counted the rollup: %+v", agg)
+	}
+}

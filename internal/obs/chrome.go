@@ -10,16 +10,17 @@ import (
 // and chrome://tracing load directly. Spans are emitted as async
 // begin/end pairs keyed by span ID so overlapping spans from many
 // goroutines and replicas render on their own tracks without needing
-// strict stack nesting.
+// strict stack nesting; counter tracks are emitted as counter ("C")
+// events, whose args must be numeric for the viewer to plot them.
 type chromeEvent struct {
-	Name  string            `json:"name"`
-	Cat   string            `json:"cat"`
-	Phase string            `json:"ph"`
-	ID    string            `json:"id"`
-	TS    int64             `json:"ts"`  // microseconds
-	PID   int               `json:"pid"` // process lane: one per source
-	TID   int               `json:"tid"`
-	Args  map[string]string `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	ID    string         `json:"id,omitempty"`
+	TS    int64          `json:"ts"`  // microseconds
+	PID   int            `json:"pid"` // process lane: one per source
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 type chromeFile struct {
@@ -32,17 +33,19 @@ type chromeFile struct {
 // multi-replica sweep reads as one timeline with one lane per
 // process.
 func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	return ChromeTraceWithCounters(spans, nil)
+}
+
+// ChromeTraceWithCounters is ChromeTrace plus counter tracks: each
+// track's samples become counter ("C") events in the pid lane of the
+// track's source, so occupancy/IPC curves render under the same
+// process's span tree.
+func ChromeTraceWithCounters(spans []SpanRecord, tracks []CounterTrack) ([]byte, error) {
 	sorted := append([]SpanRecord(nil), spans...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
 
 	lanes := map[string]int{}
-	laneOf := func(sr SpanRecord) int {
-		src := ""
-		for _, a := range sr.Attrs {
-			if a.Key == "source" {
-				src = a.Value
-			}
-		}
+	laneFor := func(src string) int {
 		id, ok := lanes[src]
 		if !ok {
 			id = len(lanes) + 1
@@ -50,10 +53,19 @@ func ChromeTrace(spans []SpanRecord) ([]byte, error) {
 		}
 		return id
 	}
+	laneOf := func(sr SpanRecord) int {
+		src := ""
+		for _, a := range sr.Attrs {
+			if a.Key == "source" {
+				src = a.Value
+			}
+		}
+		return laneFor(src)
+	}
 
 	f := chromeFile{TraceEvents: make([]chromeEvent, 0, 2*len(sorted))}
 	for _, sr := range sorted {
-		args := map[string]string{
+		args := map[string]any{
 			"trace_id": sr.TraceID,
 			"span_id":  sr.SpanID,
 		}
@@ -79,6 +91,24 @@ func ChromeTrace(spans []SpanRecord) ([]byte, error) {
 		end.TS = sr.Start.Add(sr.Duration).UnixMicro()
 		end.Args = nil
 		f.TraceEvents = append(f.TraceEvents, begin, end)
+	}
+	for _, t := range tracks {
+		pid := laneFor(t.Source)
+		for _, s := range t.Samples {
+			args := make(map[string]any, len(s.Values))
+			for k, v := range s.Values {
+				args[k] = v
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name:  t.Name,
+				Cat:   "counter",
+				Phase: "C",
+				TS:    s.TS,
+				PID:   pid,
+				TID:   1,
+				Args:  args,
+			})
+		}
 	}
 	return json.MarshalIndent(f, "", " ")
 }

@@ -1,0 +1,90 @@
+package obs
+
+// Counter tracks: numeric time series (occupancy, IPC) recorded
+// alongside spans and exported as Chrome counter ("C") events, so the
+// -trace-out Perfetto view renders occupancy curves under the span
+// tree. A track belongs to a trace, so cluster tooling can reassemble
+// a sweep's tracks from every replica the same way it merges spans.
+
+import "context"
+
+// CounterSample is one point of a counter track: a timestamp in
+// microseconds since the Unix epoch (the Chrome trace-event clock as
+// this package emits it) and the series values at that instant.
+type CounterSample struct {
+	TS     int64              `json:"ts"`
+	Values map[string]float64 `json:"values"`
+}
+
+// CounterTrack is one named multi-series counter. Source labels the
+// process that recorded it (replica URL, "coordinator"); the Chrome
+// export maps it to the same pid lane as that source's spans.
+type CounterTrack struct {
+	TraceID string          `json:"trace_id,omitempty"`
+	Source  string          `json:"source,omitempty"`
+	Name    string          `json:"name"`
+	Samples []CounterSample `json:"samples"`
+}
+
+// maxCounterTracks bounds how many tracks a recorder retains; the
+// oldest are evicted first, mirroring the span ring.
+const maxCounterTracks = 256
+
+// RecordCounters retains a counter track. No-op on a nil or disabled
+// recorder. When the bound is hit the oldest track is dropped (counted
+// with the same dropped accounting as span overwrites would be — the
+// tracks ring is far larger than any sweep produces).
+func (r *Recorder) RecordCounters(t CounterTrack) {
+	if r == nil || !r.enabled.Load() || len(t.Samples) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if len(r.counters) >= maxCounterTracks {
+		n := copy(r.counters, r.counters[1:])
+		r.counters = r.counters[:n]
+		r.dropped.Add(1)
+	}
+	r.counters = append(r.counters, t)
+	r.mu.Unlock()
+}
+
+// Counters copies every retained counter track, oldest first.
+func (r *Recorder) Counters() []CounterTrack {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]CounterTrack(nil), r.counters...)
+}
+
+// CountersFor returns the retained counter tracks of one trace.
+func (r *Recorder) CountersFor(traceID string) []CounterTrack {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []CounterTrack
+	for _, t := range r.counters {
+		if t.TraceID == traceID {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RecordCounters retains a track on the recorder owned by the span in
+// ctx (the request's recorder inside a traced handler), falling back
+// to the Default recorder; the track inherits the context's trace ID
+// when it carries none. Free when no recorder is enabled.
+func RecordCounters(ctx context.Context, t CounterTrack) {
+	rec := defaultRecorder
+	if parent := SpanFromContext(ctx); parent != nil {
+		rec = parent.rec
+	}
+	if sc := SpanContextFromContext(ctx); t.TraceID == "" && sc.IsValid() {
+		t.TraceID = sc.Trace.String()
+	}
+	rec.RecordCounters(t)
+}

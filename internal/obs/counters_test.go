@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestRecordCountersRetainsAndFilters(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	r.RecordCounters(CounterTrack{Name: "empty"}) // no samples -> dropped silently
+	r.RecordCounters(CounterTrack{TraceID: "t1", Name: "occ a", Samples: []CounterSample{{TS: 1, Values: map[string]float64{"lsq": 3}}}})
+	r.RecordCounters(CounterTrack{TraceID: "t2", Name: "occ b", Samples: []CounterSample{{TS: 2, Values: map[string]float64{"lsq": 5}}}})
+
+	if all := r.Counters(); len(all) != 2 || all[0].Name != "occ a" {
+		t.Fatalf("counters = %+v, want 2 tracks oldest-first", all)
+	}
+	got := r.CountersFor("t2")
+	if len(got) != 1 || got[0].Name != "occ b" || got[0].Samples[0].Values["lsq"] != 5 {
+		t.Fatalf("CountersFor(t2) = %+v", got)
+	}
+	if r.CountersFor("missing") != nil {
+		t.Fatal("unknown trace returned tracks")
+	}
+}
+
+func TestRecordCountersDisabledAndNil(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.RecordCounters(CounterTrack{Name: "x", Samples: []CounterSample{{TS: 1}}})
+	if nilRec.Counters() != nil || nilRec.Dropped() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	r := NewRecorder(8) // disabled
+	r.RecordCounters(CounterTrack{Name: "x", Samples: []CounterSample{{TS: 1}}})
+	if len(r.Counters()) != 0 {
+		t.Fatal("disabled recorder retained a track")
+	}
+}
+
+func TestCounterTrackBoundEvictsOldest(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	for i := 0; i < maxCounterTracks+3; i++ {
+		r.RecordCounters(CounterTrack{
+			Name:    fmt.Sprintf("track-%d", i),
+			Samples: []CounterSample{{TS: int64(i)}},
+		})
+	}
+	all := r.Counters()
+	if len(all) != maxCounterTracks {
+		t.Fatalf("retained %d tracks, want %d", len(all), maxCounterTracks)
+	}
+	if all[0].Name != "track-3" || all[len(all)-1].Name != fmt.Sprintf("track-%d", maxCounterTracks+2) {
+		t.Fatalf("eviction order wrong: first %q last %q", all[0].Name, all[len(all)-1].Name)
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3 evicted tracks counted", r.Dropped())
+	}
+}
+
+// TestChromeTraceCounterEvents: counter tracks export as "C" events
+// with numeric args, sharing the pid lane of same-source spans so the
+// occupancy curves render under that process's span tree.
+func TestChromeTraceCounterEvents(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	_, sp := r.StartSpan(context.Background(), "simulate")
+	sp.SetAttr("source", "replica-1")
+	sp.End()
+
+	out, err := ChromeTraceWithCounters(r.snapshot(), []CounterTrack{{
+		Source: "replica-1",
+		Name:   "occ gzip/samie",
+		Samples: []CounterSample{
+			{TS: 10, Values: map[string]float64{"lsq": 12, "ipc": 1.5}},
+			{TS: 20, Values: map[string]float64{"lsq": 9, "ipc": 1.1}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &f); err != nil {
+		t.Fatalf("not valid trace-event JSON: %v", err)
+	}
+	var spanPID, counterPID float64 = -1, -2
+	counters := 0
+	for _, ev := range f.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			spanPID = ev["pid"].(float64)
+		case "C":
+			counters++
+			counterPID = ev["pid"].(float64)
+			args := ev["args"].(map[string]any)
+			if _, ok := args["lsq"].(float64); !ok {
+				t.Fatalf("counter args not numeric: %+v", args)
+			}
+		}
+	}
+	if counters != 2 {
+		t.Fatalf("got %d counter events, want 2", counters)
+	}
+	if spanPID != counterPID {
+		t.Fatalf("counter lane %v != same-source span lane %v", counterPID, spanPID)
+	}
+}
+
+// TestRecordCountersFromContext: the package-level helper routes to
+// the recorder owned by the span in ctx and stamps the context's trace
+// ID onto an unlabeled track.
+func TestRecordCountersFromContext(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetEnabled(true)
+	ctx, sp := r.StartSpan(context.Background(), "sweep")
+	RecordCounters(ctx, CounterTrack{Name: "occ", Samples: []CounterSample{{TS: 1}}})
+	sp.End()
+
+	got := r.CountersFor(sp.Context().Trace.String())
+	if len(got) != 1 || got[0].Name != "occ" {
+		t.Fatalf("track not stamped with the context trace: %+v", r.Counters())
+	}
+	// No span in ctx: falls back to the (disabled) default recorder and
+	// stays a no-op rather than panicking.
+	RecordCounters(context.Background(), CounterTrack{Name: "stray", Samples: []CounterSample{{TS: 9}}})
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Quantile edge cases beyond the happy path in obs_test.go: empty
+// snapshots, all mass in one bucket, all mass in the +Inf overflow,
+// and observations landing exactly on a bucket boundary.
+func TestQuantileEmptySnapshot(t *testing.T) {
+	var s HistSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty snapshot Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// A constructed-but-never-observed histogram snapshots to the same
+	// zero value.
+	if got := NewHistogram([]float64{1, 2}).Snapshot().Quantile(0.9); got != 0 {
+		t.Fatalf("untouched histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucketMass(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for range 100 {
+		h.Observe(500 * time.Millisecond) // all in (0.1, 1]
+	}
+	s := h.Snapshot()
+	// Every positive quantile interpolates within [0.1, 1]; the top hits
+	// the bucket's upper edge and a vanishing q approaches its lower
+	// edge. (Quantile(0) itself resolves in the empty first bucket and
+	// reports 0 — same as the untouched case above.)
+	for _, c := range []struct{ q, want float64 }{
+		{1e-6, 0.1}, {0.5, 0.55}, {1, 1},
+	} {
+		got := s.Quantile(c.q)
+		if got < c.want-1e-3 || got > c.want+1e-3 {
+			t.Fatalf("Quantile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestQuantileAllMassInOverflow(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1})
+	for range 10 {
+		h.Observe(time.Hour) // all in +Inf
+	}
+	s := h.Snapshot()
+	// Prometheus semantics: +Inf mass clamps to the last finite bound,
+	// at every quantile.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0.1 {
+			t.Fatalf("Quantile(%v) = %v, want clamp to 0.1", q, got)
+		}
+	}
+	// Out-of-range q values are clamped to [0, 1], not rejected: q > 1
+	// behaves like q = 1 (clamped to the last bound here), q < 0 like
+	// q = 0 (rank 0, resolved in the empty first bucket).
+	if got := s.Quantile(2); got != 0.1 {
+		t.Fatalf("Quantile(2) = %v, want 0.1", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want Quantile(0) = %v", got, s.Quantile(0))
+	}
+}
+
+func TestQuantileExactBoundaryObservations(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	// Upper edges are inclusive: an observation exactly on a bound must
+	// land in that bucket, not the next one.
+	for range 4 {
+		h.Observe(time.Millisecond) // == bounds[0]
+	}
+	for range 4 {
+		h.Observe(10 * time.Millisecond) // == bounds[1]
+	}
+	s := h.Snapshot()
+	if s.Counts[0] != 4 || s.Counts[1] != 4 || s.Counts[2] != 0 {
+		t.Fatalf("boundary observations landed wrong: counts %v", s.Counts)
+	}
+	// The median splits exactly between the two buckets: rank 4 is the
+	// top of bucket 0.
+	if got := s.Quantile(0.5); got != 0.001 {
+		t.Fatalf("median = %v, want 0.001 (top of the first bucket)", got)
+	}
+	if got := s.Quantile(1); got < 0.01-1e-9 || got > 0.01+1e-9 {
+		t.Fatalf("p100 = %v, want ~0.01", got)
+	}
+}

@@ -110,6 +110,11 @@ func TestRecorderRingEviction(t *testing.T) {
 	if got := len(r.snapshot()); got != 4 {
 		t.Fatalf("ring kept %d spans, want 4", got)
 	}
+	// Overwrites are no longer silent: each of the 6 evicted spans is
+	// accounted on the dropped counter.
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
 }
 
 func TestDisabledPathZeroAllocs(t *testing.T) {

@@ -223,11 +223,13 @@ func SpanContextFromContext(ctx context.Context) SpanContext {
 // atomic-pointer check.
 type Recorder struct {
 	enabled atomic.Bool
+	dropped atomic.Uint64 // records lost to ring overwrite/eviction
 
-	mu   sync.Mutex
-	ring []SpanRecord
-	next int
-	full bool
+	mu       sync.Mutex
+	ring     []SpanRecord
+	next     int
+	full     bool
+	counters []CounterTrack
 }
 
 // DefaultRingSize bounds how many completed spans a recorder retains.
@@ -295,6 +297,11 @@ func (r *Recorder) StartRemoteChild(ctx context.Context, name string, parent Spa
 
 func (r *Recorder) record(sr SpanRecord) {
 	r.mu.Lock()
+	if r.full {
+		// The slot being reused still holds the oldest retained span;
+		// overwriting it is a silent loss unless counted.
+		r.dropped.Add(1)
+	}
 	r.ring[r.next] = sr
 	r.next++
 	if r.next == len(r.ring) {
@@ -302,6 +309,16 @@ func (r *Recorder) record(sr SpanRecord) {
 		r.full = true
 	}
 	r.mu.Unlock()
+}
+
+// Dropped reports how many records the recorder has lost to ring
+// overwrite since construction. A rising value means the ring is too
+// small for the retention window the caller expects.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
 }
 
 // snapshot copies live records oldest-first.

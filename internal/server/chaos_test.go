@@ -118,9 +118,24 @@ func TestChaosTruncatesStreams(t *testing.T) {
 
 	// The replica kept simulating past the cut: every spec is memoized,
 	// so a clean re-request (chaos off) serves the full set without
-	// executing anything new.
+	// executing anything new. The client's error arrives as soon as
+	// the connection is severed, while the handler is still filling
+	// the memo into its swallowed writer — wait for it to finish
+	// before snapshotting Executed, or the re-request races the
+	// original handler's tail.
 	s.setChaos(faultinject.Spec{})
-	st, _ := chaosClient(ts.URL).Stats(context.Background())
+	var st client.StatsResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ = chaosClient(ts.URL).Stats(context.Background())
+		if st.Engine.Executed >= int64(len(specs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("truncated handler never finished the memo: executed %d of %d", st.Engine.Executed, len(specs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	before := st.Engine.Executed
 	out, err := chaosClient(ts.URL).Suite(context.Background(), client.SuiteRequest{Specs: specs}, nil)
 	if err != nil {

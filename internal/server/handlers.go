@@ -91,7 +91,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForError(err), fmt.Sprintf("run abandoned: %v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponseFor(n, res))
+	resp := runResponseFor(n, res)
+	if req.Timeline {
+		// Interval telemetry is opt-in per request: the payload is an
+		// order of magnitude larger than the result itself, and only
+		// runs this replica simulated carry one.
+		resp.Timeline = res.Timeline
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRunProbe answers whether the batch already holds the result
@@ -108,6 +115,37 @@ func (s *Server) handleRunProbe(w http.ResponseWriter, r *http.Request) {
 	}
 	s.probeHits.Add(1)
 	writeJSON(w, http.StatusOK, runResponseFor(res.Spec, res))
+}
+
+// handleRunTimeline streams a cached run's interval telemetry as
+// NDJSON: one meta line ({"key","stride","samples"}), then one line
+// per TimelineSample. 404 means the batch holds no timeline for the
+// key — the run is not cached, or its result arrived via the disk or
+// peer tier, which strip telemetry (only locally simulated runs carry
+// it).
+func (s *Server) handleRunTimeline(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.batch.Cached(key)
+	if !ok || res.Timeline == nil || len(res.Timeline.Samples) == 0 {
+		writeError(w, http.StatusNotFound, "timeline not retained")
+		return
+	}
+	t := res.Timeline
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	meta := struct {
+		Key     string `json:"key"`
+		Stride  uint64 `json:"stride"`
+		Samples int    `json:"samples"`
+	}{Key: key, Stride: t.Stride, Samples: len(t.Samples)}
+	if err := enc.Encode(meta); err != nil {
+		return
+	}
+	for _, ts := range t.Samples {
+		if err := enc.Encode(ts); err != nil {
+			return
+		}
+	}
 }
 
 // maxSuiteSpecs bounds one suite request's explicit shard. Every spec

@@ -39,6 +39,9 @@ func (s *Server) statsSnapshot() client.StatsResponse {
 		HeapBytes:      s.heapBytes(),
 		RunPhases:      s.batch.PhaseStats(),
 		Chaos:          s.chaosSnapshot(),
+		TimelineStats:  s.batch.TimelineStats(),
+		EnergyPJ:       s.batch.EnergyPJ(),
+		TraceDropped:   s.rec.Dropped(),
 	}
 }
 
@@ -62,6 +65,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"samie_engine_canceled_total", "Requests abandoned via context before completing.", "counter", float64(st.Engine.Canceled)},
 		{"samie_engine_evictions_total", "Memoized results dropped by the LRU bound.", "counter", float64(st.Engine.Evictions)},
 		{"samie_engine_inflight", "Simulations holding a worker slot right now.", "gauge", float64(st.Engine.Inflight)},
+		{"samie_engine_queue_depth", "Run requests waiting for a worker slot right now.", "gauge", float64(st.Engine.QueueDepth)},
+		{"samie_trace_spans_dropped_total", "Spans overwritten in the trace ring before being read.", "counter", float64(st.TraceDropped)},
 		{"samie_engine_distinct_runs", "Distinct run specs in the in-memory cache.", "gauge", float64(st.DistinctRuns)},
 		{"samie_engine_workers", "Worker-pool concurrency bound.", "gauge", float64(st.Workers)},
 		{"samie_disk_cache_hits_total", "Results served from the on-disk cache.", "counter", float64(st.Disk.Hits)},
@@ -145,6 +150,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(w, "# HELP samie_store_peer_fetch_seconds Peer probe latency (hits and misses).\n# TYPE samie_store_peer_fetch_seconds histogram\n")
 	writeHistSeries(w, "samie_store_peer_fetch_seconds", "", st.Store.PeerFetch)
+
+	// Interval-telemetry rollups: per-benchmark occupancy gauges and
+	// per-structure energy counters, aggregated over every locally
+	// simulated run (tier-served results carry no timeline, so the
+	// fleet-wide sum counts each simulation exactly once).
+	if len(st.TimelineStats) > 0 {
+		benches := make([]string, 0, len(st.TimelineStats))
+		for b := range st.TimelineStats {
+			benches = append(benches, b)
+		}
+		sort.Strings(benches)
+		fmt.Fprintf(w, "# HELP samie_lsq_occupancy LSQ occupancy over sampled intervals, per benchmark.\n# TYPE samie_lsq_occupancy gauge\n")
+		for _, b := range benches {
+			agg := st.TimelineStats[b]
+			fmt.Fprintf(w, "samie_lsq_occupancy{benchmark=%q,stat=\"mean\"} %g\n", promLabel(b), agg.MeanLSQ())
+			fmt.Fprintf(w, "samie_lsq_occupancy{benchmark=%q,stat=\"peak\"} %d\n", promLabel(b), agg.PeakLSQ)
+		}
+	}
+	if len(st.EnergyPJ) > 0 {
+		structs := make([]string, 0, len(st.EnergyPJ))
+		for k := range st.EnergyPJ {
+			structs = append(structs, k)
+		}
+		sort.Strings(structs)
+		fmt.Fprintf(w, "# HELP samie_energy_joules_total Modeled energy over sampled intervals, per structure.\n# TYPE samie_energy_joules_total counter\n")
+		for _, k := range structs {
+			fmt.Fprintf(w, "samie_energy_joules_total{structure=%q} %g\n", promLabel(k), st.EnergyPJ[k]*1e-12)
+		}
+	}
 
 	// Per-phase run latency: every defined phase is always emitted
 	// (zeros before the first observation) so dashboards and CI can

@@ -235,6 +235,9 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 		`samie_run_phase_seconds_count{phase=measured}`:           1,
 		`samie_run_phase_seconds_count{phase=persist}`:            1,
 		`samie_store_misses_total{tier=disk}`:                     1,
+		// Interval-telemetry rollups from the simulated run.
+		`samie_lsq_occupancy{benchmark=gzip,stat=peak}`:           1,
+		`samie_energy_joules_total{structure=dcache}`:             1e-18,
 	} {
 		if values[key] < min {
 			t.Errorf("%s = %g, want >= %g", key, values[key], min)
@@ -242,5 +245,12 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	}
 	if h := hists[histKey("samie_run_phase_seconds", map[string]string{"phase": "peer_tier"})]; h == nil || h.buckets == 0 {
 		t.Error("untouched phase did not render its all-zero series")
+	}
+	// The new gauges and counters are present unconditionally (zero
+	// when nothing was queued or dropped).
+	for _, family := range []string{"samie_engine_queue_depth", "samie_trace_spans_dropped_total"} {
+		if _, ok := values[family]; !ok {
+			t.Errorf("metric family %s missing from the exposition", family)
+		}
 	}
 }

@@ -118,6 +118,8 @@ func routeLabel(path string) string {
 		path == "/v1/scenarios" || path == "/v1/runs" ||
 		path == "/v1/suite" || path == "/v1/traces":
 		return path
+	case strings.HasPrefix(path, "/v1/runs/") && strings.HasSuffix(path, "/timeline"):
+		return "/v1/runs/{key}/timeline"
 	case strings.HasPrefix(path, "/v1/runs/"):
 		return "/v1/runs/{key}"
 	case strings.HasPrefix(path, "/v1/figures/"):

@@ -201,8 +201,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	// The cache probe never simulates, so it bypasses the admission
-	// semaphore like the other cheap read-only endpoints.
+	// semaphore like the other cheap read-only endpoints; the timeline
+	// fetch reads the same cache and is just as cheap.
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRunProbe)
+	s.mux.HandleFunc("GET /v1/runs/{key}/timeline", s.handleRunTimeline)
 	s.mux.Handle("POST /v1/runs", s.heavy(s.handleRun))
 	s.mux.Handle("POST /v1/suite", s.heavy(s.handleSuite))
 	s.mux.Handle("GET /v1/figures/{name}", s.heavy(s.handleFigure))

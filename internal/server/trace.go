@@ -15,11 +15,12 @@ import (
 func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	spans := s.rec.Trace(id)
-	if len(spans) == 0 {
+	counters := s.rec.CountersFor(id)
+	if len(spans) == 0 && len(counters) == 0 {
 		writeError(w, http.StatusNotFound, "trace not retained")
 		return
 	}
-	writeJSON(w, http.StatusOK, client.TraceResponse{TraceID: id, Spans: spans})
+	writeJSON(w, http.StatusOK, client.TraceResponse{TraceID: id, Spans: spans, Counters: counters})
 }
 
 // handleTraces lists recent root spans, newest first. ?limit=N caps
@@ -39,5 +40,5 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		// An empty recorder answers an empty list, not JSON null.
 		roots = []obs.TraceSummary{}
 	}
-	writeJSON(w, http.StatusOK, roots)
+	writeJSON(w, http.StatusOK, client.TracesResponse{Traces: roots, Dropped: s.rec.Dropped()})
 }

@@ -50,15 +50,18 @@ func TestTraceEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	roots := decodeBody[[]obs.TraceSummary](t, resp)
+	listing := decodeBody[client.TracesResponse](t, resp)
 	found := false
-	for _, r := range roots {
+	for _, r := range listing.Traces {
 		if r.TraceID == parent.Trace.String() {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("trace %s missing from the roots listing: %+v", parent.Trace, roots)
+		t.Errorf("trace %s missing from the roots listing: %+v", parent.Trace, listing.Traces)
+	}
+	if listing.Dropped != 0 {
+		t.Errorf("dropped = %d on a fresh recorder, want 0", listing.Dropped)
 	}
 
 	// Unknown trace IDs are a 404, bad limits a 400.

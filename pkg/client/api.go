@@ -93,6 +93,14 @@ type RunRequest struct {
 
 	SAMIE *core.Config `json:"samie,omitempty"`
 	CPU   *cpu.Config  `json:"cpu,omitempty"`
+
+	// Timeline opts the response into carrying the run's interval
+	// telemetry (RunResponse.Timeline). It is a wire-level request
+	// option, not part of the simulation's identity: it does not enter
+	// the RunSpec or the canonical cache key, and a cached run answers
+	// with its retained timeline. Only runs this replica simulated
+	// itself carry one (tier-served results report none).
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // Spec converts the wire request into a library RunSpec.
@@ -161,6 +169,11 @@ type RunResponse struct {
 	// result reports only its lookup phases. Observability metadata:
 	// excluded from determinism comparisons.
 	Phases obs.PhaseTimes `json:"phases,omitzero"`
+
+	// Timeline is the run's interval telemetry, present only when the
+	// request set RunRequest.Timeline and the serving replica simulated
+	// the run itself. Observability metadata, like Phases.
+	Timeline *obs.Timeline `json:"timeline,omitempty"`
 }
 
 // Result converts the wire response back into a library RunResult.
@@ -171,11 +184,12 @@ type RunResponse struct {
 // the result carries a nil Hier, exactly like a disk-served one.
 func (r RunResponse) Result() experiments.RunResult {
 	return experiments.RunResult{
-		CPU:    r.CPU,
-		SAMIE:  r.SAMIE,
-		Conv:   r.Conv,
-		Meter:  r.Meter,
-		Phases: r.Phases,
+		CPU:      r.CPU,
+		SAMIE:    r.SAMIE,
+		Conv:     r.Conv,
+		Meter:    r.Meter,
+		Phases:   r.Phases,
+		Timeline: r.Timeline,
 	}
 }
 
@@ -314,14 +328,39 @@ type StatsResponse struct {
 	// p50/p95/p99 summaries.
 	RunPhases obs.PhaseStats `json:"run_phases,omitempty"`
 
+	// TimelineStats are the per-benchmark occupancy aggregates of every
+	// run this replica simulated itself (keyed by benchmark name);
+	// samie-cluster -stats merges replicas' maps into the fleet-wide
+	// per-personality occupancy table.
+	TimelineStats map[string]obs.OccupancyAgg `json:"timeline_stats,omitempty"`
+
+	// EnergyPJ is the per-structure dynamic energy (pJ) summed over
+	// every run this replica simulated itself.
+	EnergyPJ map[string]float64 `json:"energy_pj,omitempty"`
+
+	// TraceDropped counts span records lost to trace-ring overwrite on
+	// this replica (samie_trace_spans_dropped_total).
+	TraceDropped uint64 `json:"trace_spans_dropped,omitempty"`
+
 	Chaos ChaosState `json:"chaos"`
 }
 
 // TraceResponse is the GET /v1/trace/{id} body: every span the
-// replica's recorder retains for one trace, oldest-first.
+// replica's recorder retains for one trace, oldest-first, plus any
+// counter tracks (occupancy/IPC curves) recorded on the trace.
 type TraceResponse struct {
-	TraceID string           `json:"trace_id"`
-	Spans   []obs.SpanRecord `json:"spans"`
+	TraceID  string             `json:"trace_id"`
+	Spans    []obs.SpanRecord   `json:"spans"`
+	Counters []obs.CounterTrack `json:"counters,omitempty"`
+}
+
+// TracesResponse is the GET /v1/traces body: recent root spans,
+// newest first, plus how many span records the replica's recorder has
+// lost to ring overwrite (a rising Dropped means the ring is too small
+// for the retention window being queried).
+type TracesResponse struct {
+	Traces  []obs.TraceSummary `json:"traces"`
+	Dropped uint64             `json:"dropped"`
 }
 
 // ChaosRequest is the POST /v1/chaos body: a fault spec in the -chaos

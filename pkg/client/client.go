@@ -381,16 +381,63 @@ func (c *Client) Trace(ctx context.Context, traceID string) (TraceResponse, bool
 	return out, true, nil
 }
 
-// Traces lists the server's recent root spans, newest-first; limit <=
-// 0 takes the server default.
-func (c *Client) Traces(ctx context.Context, limit int) ([]obs.TraceSummary, error) {
+// Traces lists the server's recent root spans, newest-first, plus the
+// replica's dropped-span count; limit <= 0 takes the server default.
+func (c *Client) Traces(ctx context.Context, limit int) (TracesResponse, error) {
 	path := "/v1/traces"
 	if limit > 0 {
 		path += "?limit=" + strconv.Itoa(limit)
 	}
-	var out []obs.TraceSummary
+	var out TracesResponse
 	err := c.roundTrip(ctx, http.MethodGet, path, nil, &out)
 	return out, err
+}
+
+// Timeline fetches a cached run's interval telemetry as NDJSON from
+// GET /v1/runs/{key}/timeline and reassembles it. The second return is
+// false (nil error) when the server retains no timeline for the key —
+// not cached, or the result arrived via the disk/peer tier, which
+// strips telemetry.
+func (c *Client) Timeline(ctx context.Context, key string) (obs.Timeline, bool, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(key)+"/timeline", nil)
+	if err != nil {
+		if ae, ok := err.(*APIError); ok && ae.Status == http.StatusNotFound {
+			return obs.Timeline{}, false, nil
+		}
+		return obs.Timeline{}, false, err
+	}
+	defer resp.Body.Close()
+	var t obs.Timeline
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			// Leading meta line: {"key":..., "stride":..., "samples":...}.
+			first = false
+			var meta struct {
+				Stride uint64 `json:"stride"`
+			}
+			if err := json.Unmarshal(line, &meta); err != nil {
+				return obs.Timeline{}, false, fmt.Errorf("client: bad timeline meta %q: %w", line, err)
+			}
+			t.Stride = meta.Stride
+			continue
+		}
+		var ts obs.TimelineSample
+		if err := json.Unmarshal(line, &ts); err != nil {
+			return obs.Timeline{}, false, fmt.Errorf("client: bad timeline line %q: %w", line, err)
+		}
+		t.Samples = append(t.Samples, ts)
+	}
+	if err := sc.Err(); err != nil {
+		return obs.Timeline{}, false, fmt.Errorf("client: reading timeline: %w", err)
+	}
+	return t, true, nil
 }
 
 // traceParentFor renders the traceparent header for a request: the

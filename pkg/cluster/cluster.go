@@ -423,6 +423,7 @@ func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error)
 		agg.Engine.Executed += st.Engine.Executed
 		agg.Engine.Hits += st.Engine.Hits
 		agg.Engine.Inflight += st.Engine.Inflight
+		agg.Engine.QueueDepth += st.Engine.QueueDepth
 		agg.Engine.Canceled += st.Engine.Canceled
 		agg.Engine.Evictions += st.Engine.Evictions
 		agg.Disk.Hits += st.Disk.Hits
@@ -441,6 +442,24 @@ func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error)
 		agg.Preloaded += st.Preloaded
 		agg.Goroutines += st.Goroutines
 		agg.HeapBytes += st.HeapBytes
+		agg.TraceDropped += st.TraceDropped
+		// Timeline rollups merge exactly-once across the fleet: only the
+		// replica that simulated a run holds its telemetry, so summing
+		// per-benchmark aggregates and energy never double-counts.
+		if len(st.TimelineStats) > 0 && agg.TimelineStats == nil {
+			agg.TimelineStats = map[string]obs.OccupancyAgg{}
+		}
+		for bench, oa := range st.TimelineStats {
+			cur := agg.TimelineStats[bench]
+			cur.Add(oa)
+			agg.TimelineStats[bench] = cur
+		}
+		if len(st.EnergyPJ) > 0 && agg.EnergyPJ == nil {
+			agg.EnergyPJ = map[string]float64{}
+		}
+		for k, v := range st.EnergyPJ {
+			agg.EnergyPJ[k] += v
+		}
 		if st.UptimeSeconds > agg.UptimeSeconds {
 			agg.UptimeSeconds = st.UptimeSeconds
 		}
@@ -530,9 +549,20 @@ func (c *ShardedClient) SweepTraceID() string {
 // best-effort by design. The caller typically appends its local
 // recorder's spans and hands the lot to obs.ChromeTrace.
 func (c *ShardedClient) TraceSpans(ctx context.Context, traceID string) []obs.SpanRecord {
+	spans, _ := c.TraceData(ctx, traceID)
+	return spans
+}
+
+// TraceData is TraceSpans plus the counter tracks the fleet retained
+// for the trace: each replica's occupancy/IPC samples come back with
+// CounterTrack.Source set to the replica URL, so a merged Perfetto
+// export renders each replica's counters in its own lane next to its
+// spans.
+func (c *ShardedClient) TraceData(ctx context.Context, traceID string) ([]obs.SpanRecord, []obs.CounterTrack) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var all []obs.SpanRecord
+	var tracks []obs.CounterTrack
 	for _, rep := range c.Replicas() {
 		wg.Add(1)
 		go func(rep string) {
@@ -544,12 +574,22 @@ func (c *ShardedClient) TraceSpans(ctx context.Context, traceID string) []obs.Sp
 			for i := range tr.Spans {
 				tr.Spans[i].Attrs = append(tr.Spans[i].Attrs, obs.SpanAttr{Key: "source", Value: rep})
 			}
+			for i := range tr.Counters {
+				tr.Counters[i].Source = rep
+			}
 			mu.Lock()
 			all = append(all, tr.Spans...)
+			tracks = append(tracks, tr.Counters...)
 			mu.Unlock()
 		}(rep)
 	}
 	wg.Wait()
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
-	return all
+	sort.SliceStable(tracks, func(i, j int) bool {
+		if tracks[i].Source != tracks[j].Source {
+			return tracks[i].Source < tracks[j].Source
+		}
+		return tracks[i].Name < tracks[j].Name
+	})
+	return all, tracks
 }
