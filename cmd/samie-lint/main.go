@@ -1,0 +1,116 @@
+// Command samie-lint runs the repository's invariant analyzers
+// (internal/lint) over a set of packages.
+//
+// Standalone:
+//
+//	samie-lint ./...
+//	samie-lint -json ./...
+//	samie-lint -analyzers mapiter,detpure ./internal/experiments
+//
+// As a vet tool (per-package, driven by the go command):
+//
+//	go vet -vettool=$(which samie-lint) ./...
+//
+// Exit codes (the pre-commit contract): 0 — clean; 1 — one or more
+// findings; 2 — usage or load error (a finding was *not* proven
+// absent). -json writes one {"file","line","column","analyzer",
+// "message"} object per finding as a JSON array on stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"samielsq/internal/lint"
+)
+
+func main() {
+	// The go command probes vet tools with -V=full (version stamp) and
+	// -flags (supported flags, as a JSON array), then invokes them with
+	// a *.cfg file; all three paths bypass normal flag parsing.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("samie-lint version 1 (analyzers: %s)\n", strings.Join(analyzerNames(), ","))
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) >= 2 && strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		os.Exit(runVetTool(os.Args[len(os.Args)-1]))
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: samie-lint [-json] [-analyzers a,b] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		analyzers = analyzers[:0:0]
+		for _, n := range strings.Split(*names, ",") {
+			a := lint.Lookup(strings.TrimSpace(n))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "samie-lint: unknown analyzer %q (use -list)\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func analyzerNames() []string {
+	var out []string
+	for _, a := range lint.All() {
+		out = append(out, a.Name)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package main
+
+// The go command's vet-tool protocol (the unitchecker protocol): for
+// every package, the driver writes a JSON config describing the
+// already-compiled unit — source files, the import map and export
+// data for every dependency — and invokes the tool with that file as
+// its sole argument. The tool analyzes the unit, writes its (empty,
+// for samie-lint: no cross-package facts) .vetx output so the driver
+// can cache the run, prints findings to stderr and exits 2 when any
+// were found. This lets `go vet -vettool=samie-lint ./...` reuse the
+// go command's build graph, caching and parallelism.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"samielsq/internal/lint"
+)
+
+// vetConfig mirrors the fields of the driver-written config file that
+// samie-lint consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "samie-lint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "samie-lint: parsing vet config: %v\n", err)
+		return 1
+	}
+	// The driver demands the facts file regardless of findings.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte("samie-lint: no facts\n"), 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, g := range cfg.GoFiles {
+		// Test files are out of scope, matching the standalone loader:
+		// the invariants protect production payload paths, and test
+		// assertions iterate maps freely. The go command hands the
+		// tool test-augmented package variants; lint only the
+		// production half (an external _test package ends up empty
+		// and is skipped wholesale below).
+		if strings.HasSuffix(g, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, g, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "samie-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		writeVetx()
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "samie-lint: type-check %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &lint.Package{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, lint.All(), false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "samie-lint: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

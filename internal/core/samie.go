@@ -319,6 +319,8 @@ func (s *SAMIE) activeSlots(used int) int {
 
 // Dispatch implements lsq.Model. The SAMIE-LSQ never stalls dispatch:
 // instructions without a computed address occupy no LSQ resources.
+//
+//samie:hotpath
 func (s *SAMIE) Dispatch(seq uint64, isLoad bool) bool {
 	s.t.Add(seq, isLoad)
 	return true
@@ -421,6 +423,8 @@ func (s *SAMIE) fillSlot(op *lsq.Op, kind locKind, bank, ei, si int) {
 }
 
 // tryPlace attempts DistribLSQ then SharedLSQ placement (§3.2).
+//
+//samie:hotpath
 func (s *SAMIE) tryPlace(op *lsq.Op) bool {
 	line := s.lineOf(op.Addr)
 	bank := s.bankOf(line)
@@ -461,6 +465,7 @@ func (s *SAMIE) tryPlace(op *lsq.Op) bool {
 	}
 	// 5) Unbounded SharedLSQ grows on demand (Figure 3 study).
 	if s.cfg.SharedUnbounded {
+		//lint:ignore hotalloc unbounded-study growth is the point of SharedUnbounded; bounded configs never reach here
 		s.shared = append(s.shared, entry{slots: make([]slot, s.cfg.SlotsPerEntry)})
 		s.fillSlot(op, locShared, -1, len(s.shared)-1, 0)
 		return true
@@ -471,6 +476,8 @@ func (s *SAMIE) tryPlace(op *lsq.Op) bool {
 // AddressReady implements lsq.Model (§3.2): search the bank and the
 // SharedLSQ in parallel; fall back to the AddrBuffer; fail if all
 // three structures are full.
+//
+//samie:hotpath
 func (s *SAMIE) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) lsq.Placement {
 	op := s.t.Get(seq)
 	if op == nil {
@@ -495,6 +502,8 @@ func (s *SAMIE) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) l
 // Tick implements lsq.Model: drain the AddrBuffer head-first. The
 // AddrBuffer is a strict FIFO (§3.3), so draining stops at the first
 // element that still does not fit.
+//
+//samie:hotpath
 func (s *SAMIE) Tick() []uint64 {
 	placed := s.tickBuf[:0]
 	for s.addrBuf.len() > 0 {
@@ -515,6 +524,7 @@ func (s *SAMIE) Tick() []uint64 {
 		s.chargeSearch(s.bankOf(s.lineOf(head.addr)))
 		s.meter.AddrBufferRemove()
 		s.addrBuf.pop()
+		//lint:ignore hotalloc appends into the reused tickBuf; capacity amortizes to the drain high-water mark
 		placed = append(placed, head.seq)
 	}
 	s.tickBuf = placed[:0]
@@ -530,6 +540,8 @@ func (s *SAMIE) Placed(seq uint64) bool {
 // ForwardingSource implements lsq.Model. Store-to-load forwarding uses
 // the slot age links established at placement time; the tracker search
 // is the architectural equivalent.
+//
+//samie:hotpath
 func (s *SAMIE) ForwardingSource(seq uint64) (uint64, bool) {
 	src, ok := s.t.ForwardingSource(seq)
 	if ok {
@@ -754,6 +766,8 @@ func (s *SAMIE) Flush() {
 // active-area accumulation. The entry/slot totals are maintained
 // incrementally at fill/free time, so this per-cycle hook is O(1) —
 // it does not walk the banks.
+//
+//samie:hotpath
 func (s *SAMIE) AccountCycle() {
 	s.stats.Cycles++
 	s.stats.SumInFlight += float64(s.t.Len())

@@ -459,6 +459,8 @@ func (c *CPU) Cycle() uint64 { return c.cycle }
 
 // allocInst hands out a dynInst for in, recycling a committed one when
 // available.
+//
+//samie:hotpath
 func (c *CPU) allocInst(in isa.Inst) *dynInst {
 	if n := len(c.freeInsts); n > 0 {
 		d := c.freeInsts[n-1]
@@ -473,8 +475,11 @@ func (c *CPU) allocInst(in isa.Inst) *dynInst {
 // recycleInst returns a committed instruction to the arena. The
 // generation bump retires every outstanding reference (rename bindings,
 // lastWriter entries) to the old occupant.
+//
+//samie:hotpath
 func (c *CPU) recycleInst(d *dynInst) {
 	d.gen++
+	//lint:ignore hotalloc freeInsts is preallocated to ROBSize+FetchQueue, the max ever recycled
 	c.freeInsts = append(c.freeInsts, d)
 }
 
@@ -537,6 +542,8 @@ func (c *CPU) Run(maxInsts uint64) Result {
 
 // step advances one cycle, running the stages in reverse order so that
 // same-cycle structural effects propagate like hardware.
+//
+//samie:hotpath
 func (c *CPU) step() {
 	c.cycle++
 	dports := c.cfg.DcachePorts
@@ -561,6 +568,7 @@ func (c *CPU) step() {
 
 // ---- Commit ---------------------------------------------------------------
 
+//samie:hotpath
 func (c *CPU) commit(dports *int) {
 	n := 0
 	for n < c.cfg.CommitWidth && c.rob.len() > 0 {
@@ -737,6 +745,7 @@ func (c *CPU) flushPipeline() {
 
 // ---- LSQ buffer drain -------------------------------------------------------
 
+//samie:hotpath
 func (c *CPU) drainAddrBuffer() {
 	for _, seq := range c.model.Tick() {
 		if d := c.findROB(seq); d != nil {
@@ -799,6 +808,7 @@ func (c *CPU) minUnknownStore() uint64 {
 	return c.minUnknownSeq
 }
 
+//samie:hotpath
 func (c *CPU) writebackAndIssue(dports *int) {
 	intIssued, fpIssued := 0, 0
 	aluUsed := 0
@@ -1094,6 +1104,7 @@ func (c *CPU) tryPerformLoad(d *dynInst, dports *int) loadBlock {
 
 // ---- Dispatch ----------------------------------------------------------------
 
+//samie:hotpath
 func (c *CPU) dispatch() {
 	n := 0
 	stalled := false
@@ -1157,6 +1168,7 @@ func (c *CPU) dispatch() {
 		if c.ev != nil {
 			c.schedAdmit(d)
 		} else {
+			//lint:ignore hotalloc active is preallocated to ROBSize, the max in flight
 			c.active = append(c.active, d)
 		}
 		c.fetchQ.popFront()
@@ -1169,6 +1181,7 @@ func (c *CPU) dispatch() {
 
 // ---- Fetch --------------------------------------------------------------------
 
+//samie:hotpath
 func (c *CPU) fetch() {
 	if c.cycle < c.fetchBlockedUntil || c.blockingBranch != nil {
 		c.res.FetchStallCycles++

@@ -63,6 +63,8 @@ func (f *FlightRecorder) noteIssue(seq uint64) {
 
 // endCycle closes the current cycle: fingerprint the issue set, retain
 // a full frame in the ring, reset the scratch.
+//
+//samie:deterministic
 func (f *FlightRecorder) endCycle(cycle uint64, rob, waiters, wheel, attn int) {
 	if f.limit != 0 && cycle > f.limit {
 		f.cur = f.cur[:0]

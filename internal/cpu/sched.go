@@ -164,6 +164,8 @@ func (ev *eventSched) reset() {
 }
 
 // park schedules d's next visit at cycle `at`.
+//
+//samie:hotpath
 func (ev *eventSched) park(d *dynInst, at uint64) {
 	d.wakeCycle = at
 	i := at & wheelMask
@@ -178,6 +180,8 @@ func (ev *eventSched) park(d *dynInst, at uint64) {
 // transition. Callers only park when producerDone reported false, so p
 // is live (generation matched) and, if stDone, readyAt is in the
 // future.
+//
+//samie:hotpath
 func (ev *eventSched) parkOnProducer(d, p *dynInst) {
 	if p.state >= stDone {
 		ev.park(d, p.readyAt)
@@ -189,6 +193,8 @@ func (ev *eventSched) parkOnProducer(d, p *dynInst) {
 
 // drainWheel moves this cycle's bucket into the attention set. Entries
 // whose wake cycle lapped the wheel re-queue for their real cycle.
+//
+//samie:hotpath
 func (ev *eventSched) drainWheel(cycle uint64) {
 	i := cycle & wheelMask
 	d := ev.wheel[i]
@@ -214,6 +220,8 @@ func (ev *eventSched) drainWheel(cycle uint64) {
 // recycled: a waiter that drains after the recycle re-checks
 // producerDone, whose generation test classifies the recycled slot as
 // long since done without reading its stale state.
+//
+//samie:hotpath
 func (c *CPU) wakeWaiters(d *dynInst) {
 	if c.ev == nil {
 		return
@@ -237,6 +245,8 @@ func (c *CPU) wakeWaiters(d *dynInst) {
 // parking d on the first producer whose value is still outstanding.
 // Severing observed-done producers matches the legacy helpers, so the
 // per-visit recheck degrades to nil tests either way.
+//
+//samie:hotpath
 func (c *CPU) parkIssueOperands(d *dynInst) bool {
 	if d.srcA != nil {
 		if !producerDone(d.srcA, d.genA, c.cycle) {
@@ -264,6 +274,8 @@ func (c *CPU) parkIssueOperands(d *dynInst) bool {
 // first outstanding producer, or put up for attention next cycle (the
 // legacy walk likewise first considers a new dispatch the following
 // cycle, dispatch running after the issue stage).
+//
+//samie:hotpath
 func (c *CPU) schedAdmit(d *dynInst) {
 	if !c.parkIssueOperands(d) {
 		c.ev.attn.set(d.in.Seq)
@@ -276,6 +288,8 @@ func (c *CPU) schedAdmit(d *dynInst) {
 // store-address-delivery path whenever the frontier may have moved;
 // woken loads re-run tryPerformLoad in their age position this cycle,
 // matching the legacy walk's per-cycle recheck.
+//
+//samie:hotpath
 func (c *CPU) wakeReadyBitWaiters(newFrontier uint64) {
 	if c.rob.len() == 0 {
 		return
@@ -304,6 +318,8 @@ func (c *CPU) wakeReadyBitWaiters(newFrontier uint64) {
 // structural losers keep their attention bit (contention re-arbitrates
 // by age next cycle); everything else leaves the set by parking on its
 // blocking event or by completing.
+//
+//samie:hotpath
 func (c *CPU) wakeupIssue(dports *int) {
 	ev := c.ev
 	ev.drainWheel(c.cycle)
@@ -404,6 +420,8 @@ func (c *CPU) wakeupIssue(dports *int) {
 // placed-store completion: a placed store whose data is available
 // completes (it writes the cache at commit). An unplaced store waits
 // for the AddrBuffer drain; missing data parks on the data producer.
+//
+//samie:hotpath
 func (c *CPU) stepStore(d *dynInst, s uint64) {
 	ev := c.ev
 	if !d.placed || d.performed {

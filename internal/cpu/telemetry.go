@@ -50,6 +50,8 @@ func (c *CPU) resetSampleBase() {
 // endOfCycleTelemetry runs after every simulated cycle (both the
 // normal and the deadlock-flush exit of step). It only observes —
 // nothing here may touch architectural or metered state.
+//
+//samie:hotpath
 func (c *CPU) endOfCycleTelemetry() {
 	if c.sampler.Due(c.cycle) {
 		c.recordSample()

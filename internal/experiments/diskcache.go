@@ -265,6 +265,8 @@ func validArtifact(art *diskArtifact, key string) bool {
 
 // store persists a result. Failures are silent by design: the cache is
 // an accelerator, never a correctness dependency.
+//
+//samie:deterministic
 func (d *DiskCache) store(key string, res RunResult) {
 	art := diskArtifact{
 		Version: diskCacheVersion,
@@ -308,6 +310,7 @@ func (d *DiskCache) store(key string, res RunResult) {
 	}
 	d.writes.Add(1)
 	d.mu.Lock()
+	//lint:ignore detpure Mod is operational index metadata; the keyed artifact body above is byte-deterministic
 	d.idx[key] = indexEntry{File: filepath.Base(path), Bytes: int64(len(data)), Mod: time.Now().Unix()}
 	d.markDirtyLocked()
 	d.mu.Unlock()
@@ -527,6 +530,7 @@ func (d *DiskCache) Prune(maxBytes int64, maxAge time.Duration) (PruneStats, err
 	}
 
 	d.mu.Lock()
+	//lint:ordered per-key deletes of doomed entries; no cross-key state
 	for k, e := range d.idx {
 		if doomed[e.File] {
 			delete(d.idx, k)

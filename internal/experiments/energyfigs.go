@@ -127,6 +127,8 @@ func (e EnergyResult) AreaSavings() float64 {
 }
 
 // Figure7String renders Figure 7 (LSQ dynamic energy).
+//
+//samie:deterministic
 func (e EnergyResult) Figure7String() string {
 	t := stats.NewTable("benchmark", "conventional (nJ)", "SAMIE (nJ)", "saving")
 	for _, r := range e.Rows {
@@ -137,6 +139,8 @@ func (e EnergyResult) Figure7String() string {
 }
 
 // Figure8String renders Figure 8 (SAMIE energy breakdown).
+//
+//samie:deterministic
 func (e EnergyResult) Figure8String() string {
 	t := stats.NewTable("benchmark", "DistribLSQ", "SharedLSQ", "AddrBuffer", "Bus")
 	for _, r := range e.Rows {
@@ -151,6 +155,8 @@ func (e EnergyResult) Figure8String() string {
 }
 
 // Figure9String renders Figure 9 (L1 Dcache energy).
+//
+//samie:deterministic
 func (e EnergyResult) Figure9String() string {
 	t := stats.NewTable("benchmark", "conventional (nJ)", "SAMIE (nJ)", "saving")
 	for _, r := range e.Rows {
@@ -161,6 +167,8 @@ func (e EnergyResult) Figure9String() string {
 }
 
 // Figure10String renders Figure 10 (DTLB energy).
+//
+//samie:deterministic
 func (e EnergyResult) Figure10String() string {
 	t := stats.NewTable("benchmark", "conventional (nJ)", "SAMIE (nJ)", "saving")
 	for _, r := range e.Rows {
@@ -171,6 +179,8 @@ func (e EnergyResult) Figure10String() string {
 }
 
 // Figure11String renders Figure 11 (accumulated active area).
+//
+//samie:deterministic
 func (e EnergyResult) Figure11String() string {
 	t := stats.NewTable("benchmark", "conventional", "SAMIE", "SAMIE/conv")
 	for _, r := range e.Rows {
@@ -185,6 +195,8 @@ func (e EnergyResult) Figure11String() string {
 }
 
 // Figure12String renders Figure 12 (active-area breakdown).
+//
+//samie:deterministic
 func (e EnergyResult) Figure12String() string {
 	t := stats.NewTable("benchmark", "DistribLSQ", "SharedLSQ", "AddrBuffer")
 	for _, r := range e.Rows {
@@ -199,6 +211,8 @@ func (e EnergyResult) Figure12String() string {
 }
 
 // String renders all six energy/area figures.
+//
+//samie:deterministic
 func (e EnergyResult) String() string {
 	var b strings.Builder
 	for _, s := range []string{

@@ -259,6 +259,7 @@ func (s *Scheduler[K, V]) SetLimit(n int) {
 		s.lruIdx = make(map[K]*list.Element)
 		// Adopt already-completed jobs (panicked included) in arbitrary
 		// order so a limit set after the fact still bounds the cache.
+		//lint:ordered adoption order only biases which memoized results evict first; results are unaffected
 		for k, j := range s.jobs {
 			select {
 			case <-j.done:

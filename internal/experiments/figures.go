@@ -103,6 +103,8 @@ func (bt *Batch) Figure1Ctx(ctx context.Context, benchmarks []string, insts uint
 }
 
 // String renders the figure as a table.
+//
+//samie:deterministic
 func (f Figure1Result) String() string {
 	t := stats.NewTable("BanksxAddrs", "%IPC vs unbounded", "%IPC (half in-flight)")
 	for _, r := range f.Rows {
@@ -177,6 +179,8 @@ func (bt *Batch) Figure3Ctx(ctx context.Context, benchmarks []string, insts uint
 }
 
 // String renders the figure as a table with a SPEC average row.
+//
+//samie:deterministic
 func (f Figure3Result) String() string {
 	t := stats.NewTable("benchmark", "128x1", "64x2", "32x4")
 	var a1, a2, a3 []float64
@@ -257,6 +261,8 @@ func (bt *Batch) Figure4Ctx(ctx context.Context, benchmarks []string, insts uint
 }
 
 // String renders the cumulative curve.
+//
+//samie:deterministic
 func (f Figure4Result) String() string {
 	t := stats.NewTable("SharedLSQ entries", "programs with AddrBuffer idle >= 99% of cycles")
 	for i, s := range f.Sizes {
@@ -339,6 +345,8 @@ func (f Figure56Result) MeanIPCLossPct() float64 {
 }
 
 // String renders both figures.
+//
+//samie:deterministic
 func (f Figure56Result) String() string {
 	t := stats.NewTable("benchmark", "conv IPC", "SAMIE IPC", "%IPC loss", "deadlocks/Mcycle")
 	for _, r := range f.Rows {

@@ -155,6 +155,8 @@ func Normalize(spec RunSpec) RunSpec {
 
 // Key returns the canonical cache key for a spec: two specs share a
 // key exactly when they describe the same simulation.
+//
+//samie:deterministic
 func Key(spec RunSpec) string { return keyOf(Normalize(spec)) }
 
 // keyOf renders the key of an already-normalized spec.

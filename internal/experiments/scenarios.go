@@ -226,6 +226,8 @@ func (r ScenarioResult) GeoMeanIPC() []float64 {
 
 // String renders the IPC sweep with a geometric-mean row, then the
 // LSQ-energy sweep.
+//
+//samie:deterministic
 func (r ScenarioResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scenario %s: IPC per variant (%d instructions)\n", r.Name, r.Insts)

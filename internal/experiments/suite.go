@@ -70,6 +70,8 @@ func (bt *Batch) Suite(benchmarks []string, insts uint64) SuiteResult {
 
 // String renders every artefact in paper order, followed by the run
 // accounting.
+//
+//samie:deterministic
 func (s SuiteResult) String() string {
 	var b strings.Builder
 	for _, part := range []string{

@@ -47,6 +47,8 @@ func Table1() Table1Result {
 }
 
 // String renders the comparison.
+//
+//samie:deterministic
 func (t Table1Result) String() string {
 	tb := stats.NewTable("size", "assoc", "ports",
 		"model conv (ns)", "model known (ns)", "model improv",
@@ -98,6 +100,8 @@ func Delays() DelayResult {
 }
 
 // String renders the delay comparison.
+//
+//samie:deterministic
 func (d DelayResult) String() string {
 	t := stats.NewTable("structure", "model (ns)", "paper (ns)")
 	for _, r := range d.Rows {
@@ -109,6 +113,8 @@ func (d DelayResult) String() string {
 // Tables456String renders the published energy and area constants
 // (Tables 4, 5 and 6) that drive the accounting, next to the
 // analytical model's estimates for the same geometries.
+//
+//samie:deterministic
 func Tables456String() string {
 	var b strings.Builder
 	tech := cacti.Tech100nm()

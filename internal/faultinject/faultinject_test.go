@@ -50,16 +50,16 @@ func TestParseSpecDefaults(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	for _, bad := range []string{
-		"err=1.5",            // probability out of range
-		"err=-0.1",           // negative
-		"err=x",              // not a number
-		"lat=5ms:1ms",        // max < min
-		"lat=-5ms",           // negative duration
-		"lat=abc",            // not a duration
-		"seed=abc",           // not an integer
-		"bogus=1",            // unknown key
-		"err",                // not key=value
-		"err=0.6,reset=0.6",  // terminal kinds sum > 1
+		"err=1.5",           // probability out of range
+		"err=-0.1",          // negative
+		"err=x",             // not a number
+		"lat=5ms:1ms",       // max < min
+		"lat=-5ms",          // negative duration
+		"lat=abc",           // not a duration
+		"seed=abc",          // not an integer
+		"bogus=1",           // unknown key
+		"err",               // not key=value
+		"err=0.6,reset=0.6", // terminal kinds sum > 1
 		"err=0.5,throttle=0.6",
 	} {
 		if _, err := ParseSpec(bad); err == nil {

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation markers. They live in a function's doc comment (or on
+// the line block directly above an undocumented declaration):
+//
+//	//samie:deterministic — the function's output must be a pure
+//	  function of its inputs: no clocks, no environment, no unseeded
+//	  randomness, no map-ordered formatting. Checked by detpure, and
+//	  propagated to every same-package function it statically calls.
+//
+//	//samie:hotpath — the function runs on the per-cycle fast path
+//	  and must not contain allocating constructs. Checked by hotalloc
+//	  on the annotated body only (callees are guarded by their own
+//	  annotations; the runtime allocs/op tests backstop the gaps).
+const (
+	MarkerDeterministic = "samie:deterministic"
+	MarkerHotPath       = "samie:hotpath"
+)
+
+// funcInfo pairs a declared function with its body and markers.
+type funcInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	markers map[string]bool
+	// root records, per propagated marker, the annotated function the
+	// marker arrived from (itself for directly annotated functions).
+	root map[string]*types.Func
+}
+
+// packageFuncs indexes every function declared in the package by its
+// types object and records which annotation markers each carries.
+func packageFuncs(p *Pass) map[*types.Func]*funcInfo {
+	out := map[*types.Func]*funcInfo{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{
+				decl:    fd,
+				obj:     obj,
+				markers: map[string]bool{},
+				root:    map[string]*types.Func{},
+			}
+			for _, m := range docMarkers(fd) {
+				fi.markers[m] = true
+				fi.root[m] = obj
+			}
+			out[obj] = fi
+		}
+	}
+	return out
+}
+
+// docMarkers extracts //samie: markers from a declaration's doc.
+func docMarkers(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "samie:") {
+			out = append(out, text)
+		}
+	}
+	return out
+}
+
+// propagate spreads marker down static same-package call edges: if an
+// annotated function calls a function declared in this package, the
+// callee inherits the obligation (its body is analyzed too, with the
+// diagnostic naming the annotated root). Interface dispatch and
+// cross-package calls are not followed — annotate the callee directly
+// when it matters.
+func propagate(p *Pass, funcs map[*types.Func]*funcInfo, marker string) {
+	work := make([]*funcInfo, 0, len(funcs))
+	for _, fi := range funcs {
+		if fi.markers[marker] {
+			work = append(work, fi)
+		}
+	}
+	for len(work) > 0 {
+		fi := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fi.decl.Body == nil {
+			continue
+		}
+		root := fi.root[marker]
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := funcs[callee]
+			if !ok || target.markers[marker] {
+				return true
+			}
+			target.markers[marker] = true
+			target.root[marker] = root
+			work = append(work, target)
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call expression to the statically-known
+// function it invokes, or nil (interface dispatch, function values,
+// conversions, builtins).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Method value on an interface has no body here.
+				if isInterfaceRecv(fn) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.F).
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isInterfaceRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}

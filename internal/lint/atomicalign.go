@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicAlign proves the GOARCH=386 invariant PR 5 was bitten by:
+// sync/atomic's 64-bit operations fault on 32-bit platforms when the
+// operand is not 8-byte aligned, and 386 only guarantees 4-byte
+// struct field alignment. The analyzer finds every raw int64/uint64
+// struct field that the package passes to a 64-bit sync/atomic
+// function and checks its offset under 386 sizes; misaligned fields
+// must move to the front of the struct (or become atomic.Int64 /
+// atomic.Uint64, which carry their own alignment).
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "checks that 64-bit sync/atomic operands are 8-byte aligned under GOARCH=386",
+	Run:  runAtomicAlign,
+}
+
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(p *Pass) error {
+	// Fields passed by address to a 64-bit sync/atomic function.
+	used := map[*types.Var]ast.Expr{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := usedFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					if _, seen := used[v]; !seen {
+						used[v] = call.Args[0]
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(used) == 0 {
+		return nil
+	}
+
+	sizes := types.SizesFor("gc", "386")
+	fields := make([]*types.Var, 0, len(used))
+	for v := range used {
+		fields = append(fields, v)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, v := range fields {
+		st, idx := owningStruct(p, v)
+		if st == nil {
+			continue
+		}
+		all := make([]*types.Var, st.NumFields())
+		for i := range all {
+			all[i] = st.Field(i)
+		}
+		offsets := sizes.Offsetsof(all)
+		if offsets[idx]%8 != 0 {
+			p.Reportf(used[v].Pos(), "field %s is used with 64-bit sync/atomic but sits at offset %d under GOARCH=386; move it first in the struct or use atomic.%s", v.Name(), offsets[idx], atomicTypeFor(v))
+		}
+	}
+	return nil
+}
+
+// owningStruct finds the struct type declared in this package that
+// contains field v, and v's index within it.
+func owningStruct(p *Pass, v *types.Var) (*types.Struct, int) {
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return st, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+func atomicTypeFor(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

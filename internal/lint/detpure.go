@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// DetPure enforces purity inside functions annotated
+// //samie:deterministic — the canonical-key, golden-output,
+// artifact-body and fingerprint paths whose bytes the golden suite
+// and the exactly-once fleet rollups compare. Forbidden inside them
+// (and inside every same-package function they statically call):
+//
+//   - clocks: time.Now, time.Since
+//   - process environment: os.Getenv, os.LookupEnv, os.Environ
+//   - unseeded randomness: any package-level math/rand or
+//     math/rand/v2 function (methods on an explicitly seeded
+//     *rand.Rand are allowed)
+//   - map-keyed formatting: passing a value whose type contains a map
+//     to an fmt formatting function (%v renders map entries in
+//     randomized order)
+//
+// Annotations propagate down static same-package call edges;
+// interface dispatch and cross-package calls are not followed, so
+// annotate such callees directly.
+var DetPure = &Analyzer{
+	Name: "detpure",
+	Doc:  "forbids clocks, env, unseeded randomness and map-keyed fmt verbs in //samie:deterministic functions",
+	Run:  runDetPure,
+}
+
+// detBannedFuncs maps package path -> banned package-level functions.
+// An empty list bans every package-level function of that package.
+var detBannedFuncs = map[string][]string{
+	"time":         {"Now", "Since", "Until"},
+	"os":           {"Getenv", "LookupEnv", "Environ"},
+	"math/rand":    {},
+	"math/rand/v2": {},
+}
+
+func runDetPure(p *Pass) error {
+	funcs := packageFuncs(p)
+	propagate(p, funcs, MarkerDeterministic)
+
+	// Analyze in source order for stable diagnostics.
+	ordered := make([]*funcInfo, 0, len(funcs))
+	for _, fi := range funcs {
+		if fi.markers[MarkerDeterministic] && fi.decl.Body != nil {
+			ordered = append(ordered, fi)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].decl.Pos() < ordered[j].decl.Pos() })
+
+	for _, fi := range ordered {
+		fi := fi
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := usedFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			ctx := ""
+			if root := fi.root[MarkerDeterministic]; root != nil && root != fi.obj {
+				ctx = " (reached from //samie:deterministic " + root.Name() + ")"
+			}
+			pkgPath := fn.Pkg().Path()
+			if banned, ok := detBannedFuncs[pkgPath]; ok && isPackageLevel(fn) {
+				if len(banned) == 0 {
+					p.Reportf(call.Pos(), "call to %s.%s in deterministic function %s uses the process-global random source%s", pkgPath, fn.Name(), fi.obj.Name(), ctx)
+					return true
+				}
+				for _, b := range banned {
+					if fn.Name() == b {
+						p.Reportf(call.Pos(), "call to %s.%s in deterministic function %s%s", pkgPath, fn.Name(), fi.obj.Name(), ctx)
+						return true
+					}
+				}
+			}
+			if pkgPath == "fmt" {
+				for _, arg := range call.Args {
+					t := p.Info.TypeOf(arg)
+					if t != nil && typeContainsMap(t, map[types.Type]bool{}) {
+						p.Reportf(arg.Pos(), "fmt argument %s contains a map; its entries format in randomized order inside deterministic function %s%s", types.ExprString(arg), fi.obj.Name(), ctx)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// usedFunc resolves the called function object, including methods.
+func usedFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPackageLevel reports whether fn is a package-level function (not
+// a method) — the distinction between rand.Intn (global source) and
+// (*rand.Rand).Intn (explicitly seeded).
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// typeContainsMap reports whether a value of type t transitively
+// holds a map (and would therefore format nondeterministically).
+func typeContainsMap(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return true
+	case *types.Pointer:
+		return typeContainsMap(u.Elem(), seen)
+	case *types.Slice:
+		return typeContainsMap(u.Elem(), seen)
+	case *types.Array:
+		return typeContainsMap(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsMap(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotAlloc statically backstops the runtime 0 allocs/op guards: in a
+// function annotated //samie:hotpath (the cycle-core step, scheduler
+// wakeup/drain, LSQ tick and sampler fast paths) it flags constructs
+// that allocate or may allocate:
+//
+//   - append (growth allocates; suppress with //lint:ignore hotalloc
+//     where capacity is preallocated and proven by the allocs/op test)
+//   - make, new
+//   - map and slice composite literals
+//   - any fmt call
+//   - non-constant string concatenation, string<->[]byte/[]rune
+//     conversions
+//   - closures (func literals capture and escape)
+//   - interface boxing of non-pointer-shaped values
+//
+// Only the annotated body is checked — callees are guarded by their
+// own annotations, and the runtime guards cover what static analysis
+// cannot see.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs inside //samie:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) error {
+	funcs := packageFuncs(p)
+	ordered := make([]*funcInfo, 0, len(funcs))
+	for _, fi := range funcs {
+		if fi.markers[MarkerHotPath] && fi.decl.Body != nil {
+			ordered = append(ordered, fi)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].decl.Pos() < ordered[j].decl.Pos() })
+	for _, fi := range ordered {
+		checkHotBody(p, fi)
+	}
+	return nil
+}
+
+func checkHotBody(p *Pass, fi *funcInfo) {
+	name := fi.obj.Name()
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure in hot path %s captures variables and allocates", name)
+			return false
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in hot path %s", name)
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in hot path %s", name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, n, name)
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			t := p.Info.TypeOf(n)
+			if t == nil || !isString(t) {
+				return true
+			}
+			if tv, ok := p.Info.Types[n]; ok && tv.Value != nil {
+				return true // constant-folded at compile time
+			}
+			p.Reportf(n.Pos(), "string concatenation allocates in hot path %s", name)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				checkBoxing(p, n.Rhs[i], p.Info.TypeOf(lhs), name)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr, name string) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				p.Reportf(call.Pos(), "append may grow and allocate in hot path %s", name)
+			case "make":
+				p.Reportf(call.Pos(), "make allocates in hot path %s", name)
+			case "new":
+				p.Reportf(call.Pos(), "new allocates in hot path %s", name)
+			}
+			return
+		}
+	}
+	// Conversions: string([]byte), []byte(string), []rune(string), ...
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := p.Info.TypeOf(call.Args[0])
+		if from != nil && isStringByteConversion(to, from) {
+			p.Reportf(call.Pos(), "%s conversion allocates in hot path %s", types.ExprString(call.Fun), name)
+		}
+		return
+	}
+	if fn := usedFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "fmt.%s allocates in hot path %s", fn.Name(), name)
+		return
+	}
+	// Interface boxing at call boundaries.
+	if sig, ok := typeAsSignature(p.Info.TypeOf(call.Fun)); ok {
+		for i, arg := range call.Args {
+			var param types.Type
+			switch {
+			case sig.Variadic() && i >= sig.Params().Len()-1:
+				last := sig.Params().At(sig.Params().Len() - 1).Type()
+				if s, ok := last.Underlying().(*types.Slice); ok {
+					param = s.Elem()
+				}
+			case i < sig.Params().Len():
+				param = sig.Params().At(i).Type()
+			}
+			checkBoxing(p, arg, param, name)
+		}
+	}
+}
+
+// checkBoxing flags storing a non-pointer-shaped concrete value into
+// an interface: the value escapes into a heap-allocated box.
+func checkBoxing(p *Pass, expr ast.Expr, dst types.Type, name string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	src := p.Info.TypeOf(expr)
+	if src == nil || types.IsInterface(src) || isPointerShaped(src) {
+		return
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	p.Reportf(expr.Pos(), "interface boxing of %s value allocates in hot path %s", src.String(), name)
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringByteConversion(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether boxing t into an interface stores
+// the value directly in the data word without allocating.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

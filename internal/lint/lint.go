@@ -1,0 +1,203 @@
+// Package lint implements the samie-lint analyzer suite: a set of
+// custom static checks that prove this repository's load-bearing
+// invariants — deterministic output, zero-allocation hot paths,
+// metrics hygiene, 32-bit atomic alignment — as structural rules over
+// the code instead of sampling them with runtime tests.
+//
+// The framework mirrors golang.org/x/tools/go/analysis in miniature
+// (Analyzer, Pass, diagnostics) but is built entirely on the standard
+// library: packages are loaded with `go list -export` and type-checked
+// from source against gc export data, so the suite runs offline with
+// no module dependencies. See docs/static-analysis.md for the
+// invariant model and the annotation grammar.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// AppliesTo restricts the analyzer to some package paths; nil
+	// means every package. The test harness bypasses this gate.
+	AppliesTo func(pkgPath string) bool
+	// Run analyzes one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	suppress map[string]map[int][]string // file -> line -> suppression tokens
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a suppression comment
+// covers it: a //lint:ignore <name> <reason> (or an analyzer-specific
+// token such as mapiter's //lint:ordered) on the same line or the line
+// directly above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressionTokens returns the comment markers that silence this
+// analyzer at a site. Every analyzer honors "lint:ignore <name>";
+// mapiter additionally honors the domain-specific "lint:ordered".
+func (p *Pass) suppressionTokens() []string {
+	toks := []string{"lint:ignore " + p.Analyzer.Name}
+	if p.Analyzer.Name == "mapiter" {
+		toks = append(toks, "lint:ordered")
+	}
+	return toks
+}
+
+func (p *Pass) suppressedAt(pos token.Position) bool {
+	lines := p.suppress[pos.Filename]
+	for _, tok := range p.suppressionTokens() {
+		for _, l := range []int{pos.Line, pos.Line - 1} {
+			for _, c := range lines[l] {
+				if strings.HasPrefix(c, tok) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buildSuppressions indexes //lint: comments by file and line.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], text)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every loaded package it
+// applies to, returning all diagnostics sorted by position. The
+// bypassApplies flag is used by the test harness to exercise an
+// analyzer on a testdata package regardless of its AppliesTo gate.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, bypassApplies bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if !bypassApplies && a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				suppress: sup,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Column != diags[j].Column {
+			return diags[i].Column < diags[j].Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIter,
+		DetPure,
+		HotAlloc,
+		PromNames,
+		AtomicAlign,
+		LockCopy,
+	}
+}
+
+// Lookup returns the named analyzer, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// pathIn reports whether pkgPath is one of the listed package paths.
+func pathIn(pkgPath string, paths []string) bool {
+	for _, p := range paths {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors golang.org/x/tools' analysistest in
+// miniature: each testdata/src/<analyzer> package annotates the lines
+// where diagnostics must appear with `// want` comments carrying one
+// or more backquoted regexps. The analyzer must produce a diagnostic
+// matching every expectation, and no diagnostic without one.
+
+var wantTokenRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// loadExpectations scans a fixture directory's Go files for `// want`
+// comments, keyed by (file base name, line).
+func loadExpectations(t *testing.T, dir string) map[string]map[int][]*expectation {
+	t.Helper()
+	out := map[string]map[int][]*expectation{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, after, found := strings.Cut(sc.Text(), "// want ")
+			if !found {
+				continue
+			}
+			for _, m := range wantTokenRE.FindAllStringSubmatch(after, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, m[1], err)
+				}
+				byLine := out[e.Name()]
+				if byLine == nil {
+					byLine = map[int][]*expectation{}
+					out[e.Name()] = byLine
+				}
+				byLine[line] = append(byLine[line], &expectation{re: re, raw: m[1]})
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// runFixture loads testdata/src/<name>, runs exactly the analyzer of
+// the same name with the AppliesTo gate bypassed, and diffs the
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	a := Lookup(name)
+	if a == nil {
+		t.Fatalf("no analyzer named %q", name)
+	}
+	pkgs, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loadExpectations(t, filepath.Join("testdata", "src", name))
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no want comments; it would pass vacuously", name)
+	}
+
+	for _, d := range diags {
+		base := filepath.Base(d.File)
+		var hit *expectation
+		for _, exp := range want[base][d.Line] {
+			if exp.re.MatchString(d.Message) {
+				hit = exp
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic %s", d)
+			continue
+		}
+		hit.matched = true
+	}
+	for file, byLine := range want {
+		for line, exps := range byLine {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, exp.raw)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) { runFixture(t, a.Name) })
+	}
+}
+
+// TestSuiteRegistry pins the suite's shape: at least the five
+// invariant families the CI lane depends on, each resolvable by name.
+func TestSuiteRegistry(t *testing.T) {
+	if n := len(All()); n < 5 {
+		t.Fatalf("analyzer suite has %d analyzers, want >= 5", n)
+	}
+	for _, name := range []string{"mapiter", "detpure", "hotalloc", "promnames", "atomicalign", "lockcopy"} {
+		if Lookup(name) == nil {
+			t.Errorf("Lookup(%q) = nil", name)
+		}
+		if a := Lookup(name); a != nil && a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", name)
+		}
+	}
+	if Lookup("nosuch") != nil {
+		t.Error("Lookup of unknown analyzer did not return nil")
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository exactly the
+// way CI's blocking lane does and requires zero findings, so a
+// regression fails `go test ./...` even where the samie-lint binary
+// is not wired in.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint is not short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags, err := RunAnalyzers(pkgs, All(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

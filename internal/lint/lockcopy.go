@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags copying values whose type transitively holds a
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond,
+// sync.Map or a sync/atomic value type (all of which embed a noCopy
+// guard). Copying one silently forks the lock or the atomic cell:
+// the Batch, obs.Recorder and cluster breakerSet types are exactly
+// the shapes where a copied mutex turns exactly-once accounting into
+// a data race. Checked sites: by-value parameters/results/receivers,
+// plain assignments from existing values, by-value call arguments and
+// range-clause value copies. Constructing a fresh value with a
+// composite literal is fine.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags copies of types containing locks or atomic cells",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(p, n)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					checkValueCopy(p, rhs, "assignment")
+				}
+			case *ast.CallExpr:
+				if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					checkValueCopy(p, arg, "call argument")
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				t := p.Info.TypeOf(n.Value)
+				if lockPath := containsLock(t, nil); lockPath != "" {
+					p.Reportf(n.Value.Pos(), "range clause copies %s which contains %s; iterate by index or store pointers", typeName(t), lockPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncSig(p *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lockPath := containsLock(t, nil); lockPath != "" {
+				p.Reportf(field.Type.Pos(), "%s passes %s by value, copying %s; use a pointer", what, typeName(t), lockPath)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+	}
+}
+
+// checkValueCopy flags an expression whose evaluation copies an
+// existing lock-holding value. Fresh composite literals, address-of
+// expressions and nil are construction, not copies.
+func checkValueCopy(p *Pass, e ast.Expr, what string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+		return
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lockPath := containsLock(t, nil); lockPath != "" {
+		p.Reportf(e.Pos(), "%s copies %s which contains %s; use a pointer", what, typeName(t), lockPath)
+	}
+}
+
+// containsLock returns a human-readable path to the first lock-like
+// component of t ("" when t is copy-safe). Lock-like means declared
+// in sync or sync/atomic with a non-basic underlying type (Mutex,
+// WaitGroup, atomic.Int64, atomic.Pointer[T], ...), or any struct or
+// array transitively holding one.
+func containsLock(t types.Type, seen []types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for _, s := range seen {
+		if s == t {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				if _, basic := named.Underlying().(*types.Basic); !basic {
+					return obj.Pkg().Name() + "." + obj.Name()
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if path := containsLock(u.Field(i).Type(), seen); path != "" {
+				return path
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

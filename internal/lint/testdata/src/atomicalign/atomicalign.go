@@ -1,0 +1,34 @@
+// Package atomicalign is the analysistest fixture for the atomicalign
+// analyzer: 64-bit sync/atomic operands whose struct offset is not
+// 8-aligned under GOARCH=386.
+package atomicalign
+
+import "sync/atomic"
+
+// counters puts the hot word after a uint32, landing it at offset 4
+// under 386's 4-byte struct alignment.
+type counters struct {
+	flag uint32
+	hits uint64
+	errs int64
+}
+
+// aligned keeps the 64-bit fields first, so they are always 8-aligned.
+type aligned struct {
+	hits uint64
+	flag uint32
+}
+
+// typed uses atomic.Uint64, which carries its own alignment guarantee
+// and never goes through the address-taking API.
+type typed struct {
+	flag uint32
+	hits atomic.Uint64
+}
+
+func bump(c *counters, a *aligned, t *typed) {
+	atomic.AddUint64(&c.hits, 1) // want `field hits is used with 64-bit sync/atomic but sits at offset 4 under GOARCH=386; move it first in the struct or use atomic.Uint64`
+	atomic.AddInt64(&c.errs, 1)  // want `field errs is used with 64-bit sync/atomic but sits at offset 12 under GOARCH=386; move it first in the struct or use atomic.Int64`
+	atomic.AddUint64(&a.hits, 1)
+	t.hits.Add(1)
+}

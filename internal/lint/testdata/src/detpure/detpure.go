@@ -1,0 +1,47 @@
+// Package detpure is the analysistest fixture for the detpure
+// analyzer: clocks, environment reads, unseeded randomness and
+// map-keyed fmt verbs inside //samie:deterministic functions, with
+// propagation down static call edges.
+package detpure
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+var epoch time.Time
+
+// Key is a canonical-key builder; everything time- or env-dependent
+// inside it must be flagged.
+//
+//samie:deterministic
+func Key(parts map[string]int, r *rand.Rand) string {
+	_ = time.Now()              // want `call to time.Now in deterministic function Key`
+	_, _ = os.LookupEnv("HOME") // want `call to os.LookupEnv in deterministic function Key`
+	_ = rand.Intn(4)            // want `call to math/rand.Intn in deterministic function Key uses the process-global random source`
+	_ = r.Intn(4)               // methods on a seeded *rand.Rand are allowed
+	sum := helper()
+	return fmt.Sprintf("%d-%v", sum, parts) // want `fmt argument parts contains a map; its entries format in randomized order inside deterministic function Key`
+}
+
+// helper is not annotated itself: it inherits the obligation from Key
+// through the static call edge, and the diagnostic names the root.
+func helper() int {
+	_ = time.Since(epoch) // want `call to time.Since in deterministic function helper \(reached from //samie:deterministic Key\)`
+	return 0
+}
+
+// unmarked is outside every deterministic path: clocks are fine here.
+func unmarked() time.Time {
+	return time.Now()
+}
+
+// stamped demonstrates the escape hatch for a justified exception.
+//
+//samie:deterministic
+func stamped() int64 {
+	//lint:ignore detpure timestamp is operational metadata stripped before hashing
+	return time.Now().Unix()
+}

@@ -1,0 +1,49 @@
+// Package hotalloc is the analysistest fixture for the hotalloc
+// analyzer: allocating constructs inside //samie:hotpath functions.
+package hotalloc
+
+import "fmt"
+
+type stat struct{ n int }
+
+var sink interface{}
+
+// bad exercises every construct class the analyzer flags.
+//
+//samie:hotpath
+func bad(xs []int, name string) int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append may grow and allocate in hot path bad`
+	}
+	m := map[string]int{} // want `map literal allocates in hot path bad`
+	m[name] = len(out)
+	buf := make([]byte, 8) // want `make allocates in hot path bad`
+	_ = buf
+	f := func() int { return len(out) } // want `closure in hot path bad captures variables and allocates`
+	_ = f()
+	fmt.Println(len(out))    // want `fmt.Println allocates in hot path bad`
+	label := "bench:" + name // want `string concatenation allocates in hot path bad`
+	raw := []byte(name)      // want `\[\]byte conversion allocates in hot path bad`
+	s := stat{n: len(raw)}
+	sink = s // want `interface boxing of .*\.stat value allocates in hot path bad`
+	return len(label)
+}
+
+// suppressed shows the escape hatch for a proven-preallocated append.
+//
+//samie:hotpath
+func suppressed(buf []int) []int {
+	//lint:ignore hotalloc caller preallocates capacity; guarded by the allocs/op test
+	buf = append(buf, 1)
+	return buf
+}
+
+// cold is unannotated: the same constructs draw no findings.
+func cold(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

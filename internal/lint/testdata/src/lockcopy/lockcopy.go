@@ -1,0 +1,57 @@
+// Package lockcopy is the analysistest fixture for the lockcopy
+// analyzer: by-value copies of types that transitively hold a lock or
+// an atomic cell.
+package lockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type metered struct {
+	hits atomic.Int64
+}
+
+func byValueParam(g guarded) int { // want `parameter passes guarded by value, copying sync.Mutex; use a pointer`
+	return g.n
+}
+
+func byValueResult() (g guarded) { // want `result passes guarded by value, copying sync.Mutex; use a pointer`
+	return
+}
+
+func (m metered) byValueRecv() int64 { // want `receiver passes metered by value, copying atomic.Int64; use a pointer`
+	return m.hits.Load()
+}
+
+func assignCopy(g *guarded) int {
+	cp := *g // want `assignment copies guarded which contains sync.Mutex; use a pointer`
+	return cp.n
+}
+
+func callArgCopy(g guarded) { // want `parameter passes guarded by value, copying sync.Mutex; use a pointer`
+	use(g) // want `call argument copies guarded which contains sync.Mutex; use a pointer`
+}
+
+func use(guarded) {} // want `parameter passes guarded by value, copying sync.Mutex; use a pointer`
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range clause copies guarded which contains sync.Mutex; iterate by index or store pointers`
+		total += g.n
+	}
+	return total
+}
+
+// pointers and fresh construction are fine.
+func clean() *guarded {
+	g := &guarded{}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g
+}

@@ -1,0 +1,72 @@
+// Package mapiter is the analysistest fixture for the mapiter
+// analyzer: each `want` comment pins a diagnostic the analyzer must
+// produce on that line, and the unannotated shapes must stay silent.
+package mapiter
+
+import "sort"
+
+// bad folds float64 values in map order: the classic nondeterministic
+// accumulation the analyzer exists to catch.
+func bad(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `iteration over map m has randomized order`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys uses the key-collect idiom, allowed without a comment.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rebuild uses the per-key rebuild idiom, allowed without a comment.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// accumulatePerKey is the += variant of the rebuild idiom.
+func accumulatePerKey(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// justified carries an explicit order-independence argument.
+func justified(m map[string]int) int {
+	n := 0
+	//lint:ordered commutative count; order cannot reach the result
+	for range m {
+		n++
+	}
+	return n
+}
+
+// twoStatements breaks the single-statement idiom shape and must be
+// flagged even though each statement alone would be allowed.
+func twoStatements(m map[string]int, out map[string]int) []string {
+	var keys []string
+	for k, v := range m { // want `iteration over map m has randomized order`
+		out[k] = v
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange ranges over a slice, which is ordered: never flagged.
+func sliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

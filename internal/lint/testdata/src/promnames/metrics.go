@@ -1,0 +1,38 @@
+// Package promnames is the analysistest fixture for the promnames
+// analyzer. The file is named metrics.go because the analyzer only
+// scans metrics*.go files, mirroring internal/server.
+package promnames
+
+import "fmt"
+
+type metric struct {
+	name  string
+	help  string
+	kind  string
+	value float64
+}
+
+// metricFamilies mirrors the registry the exposition test walks.
+var metricFamilies = []string{ // want `family samie_Bad_name is rendered but missing from the metricFamilies registry` `family samie_bad_count is rendered but missing from the metricFamilies registry` `family samie_oops_seconds is rendered but missing from the metricFamilies registry`
+	"samie_good_total",
+	"samie_runs_seconds",
+	"samie_phantom_total", // want `metricFamilies lists samie_phantom_total but the exposition never renders it`
+}
+
+func render() string {
+	ms := []metric{
+		{"samie_good_total", "good counter", "counter", 1},
+		{"samie_bad_count", "bad suffix", "counter", 1}, // want `counter samie_bad_count must end in _total`
+		{"samie_Bad_name", "bad casing", "gauge", 1},    // want `metric samie_Bad_name does not match \^samie_\[a-z0-9_\]\+\$`
+	}
+	out := ""
+	for _, m := range ms {
+		out += fmt.Sprintf("# TYPE %s %s\n%s %g\n", m.name, m.kind, m.name, m.value)
+	}
+	out += "# TYPE samie_runs_seconds histogram\n"
+	out += fmt.Sprintf("samie_runs_seconds_bucket{le=%q} 1\n", "+Inf")
+	out += "# TYPE samie_oops_seconds counter\n"               // want `counter samie_oops_seconds must end in _total`
+	out += "# TYPE samie_good_total gauge\n"                   // want `metric samie_good_total declared as gauge here but counter elsewhere`
+	out += `samie_good_total{weird="x",phase="warm"} 1` + "\n" // want `label "weird" is not in the allowed set`
+	return out
+}

@@ -140,6 +140,8 @@ func (a *ARB) bankOf(addr uint64) int {
 }
 
 // Dispatch implements Model; it enforces the total in-flight cap P.
+//
+//samie:hotpath
 func (a *ARB) Dispatch(seq uint64, isLoad bool) bool {
 	if a.t.Len() >= a.inflight {
 		a.stalls++
@@ -150,6 +152,8 @@ func (a *ARB) Dispatch(seq uint64, isLoad bool) bool {
 }
 
 // tryPlace attempts to put op into its bank.
+//
+//samie:hotpath
 func (a *ARB) tryPlace(op *Op) bool {
 	b := a.bankOf(op.Addr)
 	w := word(op.Addr)
@@ -166,6 +170,8 @@ func (a *ARB) tryPlace(op *Op) bool {
 }
 
 // AddressReady implements Model.
+//
+//samie:hotpath
 func (a *ARB) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Placement {
 	op := a.t.Get(seq)
 	if op == nil {
@@ -177,6 +183,7 @@ func (a *ARB) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Pla
 	}
 	a.placeFails++
 	a.t.SetBuffered(op)
+	//lint:ignore hotalloc pending is bounded by in-flight memory ops; capacity amortizes to that bound
 	a.pending = append(a.pending, seq)
 	return Placement{Buffered: true}
 }
@@ -185,6 +192,8 @@ func (a *ARB) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Pla
 // Unlike the SAMIE AddrBuffer, the ARB's waiting instructions sit in
 // reservation stations, so any of them may proceed when its own bank
 // has room.
+//
+//samie:hotpath
 func (a *ARB) Tick() []uint64 {
 	if len(a.pending) == 0 {
 		return nil
@@ -197,8 +206,10 @@ func (a *ARB) Tick() []uint64 {
 			continue // flushed or committed
 		}
 		if a.tryPlace(op) {
+			//lint:ignore hotalloc appends into the reused placedBuf
 			placed = append(placed, seq)
 		} else {
+			//lint:ignore hotalloc in-place filter of pending; never exceeds its existing capacity
 			remaining = append(remaining, seq)
 		}
 	}
@@ -214,6 +225,8 @@ func (a *ARB) Placed(seq uint64) bool {
 }
 
 // ForwardingSource implements Model.
+//
+//samie:hotpath
 func (a *ARB) ForwardingSource(seq uint64) (uint64, bool) {
 	return a.t.ForwardingSource(seq)
 }

@@ -63,6 +63,8 @@ func (c *Conventional) Name() string { return "conventional" }
 func (c *Conventional) Entries() int { return c.entries }
 
 // Dispatch implements Model; it fails when the queue is full.
+//
+//samie:hotpath
 func (c *Conventional) Dispatch(seq uint64, isLoad bool) bool {
 	if c.t.Len() >= c.entries {
 		c.dispatchFails++
@@ -75,6 +77,8 @@ func (c *Conventional) Dispatch(seq uint64, isLoad bool) bool {
 
 // AddressReady implements Model: the computed address is written into
 // the entry and compared associatively per the §4.2 policy.
+//
+//samie:hotpath
 func (c *Conventional) AddressReady(seq uint64, isLoad bool, addr uint64, size uint8) Placement {
 	op := c.t.Get(seq)
 	if op == nil {
@@ -103,6 +107,8 @@ func (c *Conventional) Placed(seq uint64) bool {
 }
 
 // ForwardingSource implements Model.
+//
+//samie:hotpath
 func (c *Conventional) ForwardingSource(seq uint64) (uint64, bool) {
 	s, ok := c.t.ForwardingSource(seq)
 	if ok {
@@ -147,6 +153,8 @@ func (c *Conventional) Flush() { c.t.Clear() }
 
 // AccountCycle implements Model: occupancy and §4.5 active area
 // (in-use entries plus four pre-allocated).
+//
+//samie:hotpath
 func (c *Conventional) AccountCycle() {
 	n := c.t.Len()
 	c.occupancy.Observe(n)

@@ -246,6 +246,8 @@ func (t *Tracker) grow() {
 
 // Add registers a new in-flight memory instruction. Sequence numbers
 // must be strictly increasing across Adds.
+//
+//samie:hotpath
 func (t *Tracker) Add(seq uint64, isLoad bool) *Op {
 	if t.n == len(t.ops) {
 		t.grow()
@@ -267,6 +269,8 @@ func (t *Tracker) Add(seq uint64, isLoad bool) *Op {
 }
 
 // Get returns the op for seq, or nil.
+//
+//samie:hotpath
 func (t *Tracker) Get(seq uint64) *Op {
 	if op := t.seqHint[seq&seqHintMask]; op != nil && op.Seq == seq {
 		return op
@@ -306,6 +310,8 @@ func (t *Tracker) IndexOf(seq uint64) int {
 
 // recount moves op in or out of the known+placed summaries after a
 // state transition.
+//
+//samie:hotpath
 func (t *Tracker) recount(op *Op) {
 	want := op.Placed && op.AddrKnown
 	if want == op.counted {
@@ -332,6 +338,8 @@ func (t *Tracker) recount(op *Op) {
 }
 
 // SetAddress records the computed effective address for op.
+//
+//samie:hotpath
 func (t *Tracker) SetAddress(op *Op, addr uint64, size uint8) {
 	op.Addr, op.Size, op.AddrKnown = addr, size, true
 	if op.IsLoad {
@@ -350,6 +358,8 @@ func (t *Tracker) SetPlaced(op *Op) {
 func (t *Tracker) SetBuffered(op *Op) { op.Buffered = true }
 
 // uncount removes op from the summaries (at removal time).
+//
+//samie:hotpath
 func (t *Tracker) uncount(op *Op) {
 	if !op.counted {
 		return
@@ -369,6 +379,8 @@ func (t *Tracker) uncount(op *Op) {
 // Remove drops seq and returns its op; commits arrive in order so this
 // is almost always the front element. The returned op is recycled on
 // the next Add — read what you need from it immediately.
+//
+//samie:hotpath
 func (t *Tracker) Remove(seq uint64) *Op {
 	if t.n == 0 {
 		return nil
@@ -384,6 +396,7 @@ func (t *Tracker) Remove(seq uint64) *Op {
 			t.head = 0
 		}
 		t.n--
+		//lint:ignore hotalloc free list is bounded by tracker capacity, preallocated at construction
 		t.free = append(t.free, front)
 		return front
 	}
@@ -419,6 +432,7 @@ func (t *Tracker) Remove(seq uint64) *Op {
 	}
 	t.ops[t.physical(t.n-1)] = nil
 	t.n--
+	//lint:ignore hotalloc free list is bounded by tracker capacity, preallocated at construction
 	t.free = append(t.free, op)
 	return op
 }
@@ -446,6 +460,8 @@ func (t *Tracker) Len() int { return t.n }
 
 // olderCounted returns how many counted ops of the given tree sit at
 // logical positions [0, i).
+//
+//samie:hotpath
 func (t *Tracker) olderCounted(f *fenwick, i int) int {
 	end := t.head + i
 	if end <= len(t.ops) {
@@ -459,6 +475,8 @@ func (t *Tracker) olderCounted(f *fenwick, i int) int {
 // per load and invalidated when a new forwarding candidate appears
 // (storeEpoch) or the memoized source retires, so the per-cycle retry
 // a waiting load performs is O(log n) instead of a rescan.
+//
+//samie:hotpath
 func (t *Tracker) ForwardingSource(seq uint64) (uint64, bool) {
 	op := t.Get(seq)
 	if op == nil || !op.IsLoad {

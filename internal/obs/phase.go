@@ -113,7 +113,11 @@ var PhaseBuckets = []float64{
 type PhaseStats map[string]HistSnapshot
 
 // Add merges another replica's phase stats for cluster aggregation.
+// Callers that fold many PhaseStats must fix the fold order (the
+// bucket sums are float64); within one call, distinct phase names
+// merge independently.
 func (p PhaseStats) Add(o PhaseStats) {
+	//lint:ordered distinct phase names merge into distinct entries
 	for name, snap := range o {
 		cur := p[name]
 		cur.Add(snap)

@@ -112,6 +112,8 @@ func (s *IntervalSampler) Stride() uint64 {
 // Due reports whether the caller should snapshot at this cycle. This
 // is the per-cycle gate: nil or disabled costs (at most) one atomic
 // load and allocates nothing.
+//
+//samie:hotpath
 func (s *IntervalSampler) Due(cycle uint64) bool {
 	if s == nil || !s.enabled.Load() {
 		return false
@@ -123,6 +125,8 @@ func (s *IntervalSampler) Due(cycle uint64) bool {
 // merge pairwise (energy deltas sum, IPC averages, occupancies keep
 // the later point) and the stride doubles — halve-stride compaction —
 // so the buffer never exceeds its capacity and never reallocates.
+//
+//samie:hotpath
 func (s *IntervalSampler) Record(ts TimelineSample) {
 	if s == nil || !s.enabled.Load() {
 		return
@@ -135,6 +139,7 @@ func (s *IntervalSampler) Record(ts TimelineSample) {
 		s.samples = s.samples[:half]
 		s.stride *= 2
 	}
+	//lint:ignore hotalloc halve-stride compaction above guarantees len < cap here; never reallocates
 	s.samples = append(s.samples, ts)
 	s.next = ts.Cycle + s.stride
 }
@@ -186,13 +191,13 @@ type OccupancyAgg struct {
 	Runs    int64 `json:"runs"`
 	Samples int64 `json:"samples"`
 
-	SumIPC     float64 `json:"sum_ipc"`
-	SumLSQ     float64 `json:"sum_lsq"`
-	PeakLSQ    int     `json:"peak_lsq"`
-	SumROB     float64 `json:"sum_rob"`
-	PeakROB    int     `json:"peak_rob"`
-	SumAddrBuf float64 `json:"sum_addr_buf"`
-	PeakAddrBuf int    `json:"peak_addr_buf"`
+	SumIPC      float64 `json:"sum_ipc"`
+	SumLSQ      float64 `json:"sum_lsq"`
+	PeakLSQ     int     `json:"peak_lsq"`
+	SumROB      float64 `json:"sum_rob"`
+	PeakROB     int     `json:"peak_rob"`
+	SumAddrBuf  float64 `json:"sum_addr_buf"`
+	PeakAddrBuf int     `json:"peak_addr_buf"`
 }
 
 // Observe folds one run's timeline into the aggregate. Nil timelines

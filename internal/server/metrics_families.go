@@ -1,0 +1,46 @@
+package server
+
+// metricFamilies is the authoritative list of every metric family the
+// /metrics exposition renders. Three consumers keep each other
+// honest: handleMetrics (which must render exactly these), the
+// exposition test (which asserts every listed family appears in a
+// fully populated server and nothing unlisted does), and the
+// promnames analyzer in internal/lint (which statically diffs this
+// list against the families the code registers, so adding or renaming
+// a metric without updating the registry fails `samie-lint ./...`).
+var metricFamilies = []string{
+	"samie_build_info",
+	"samie_chaos_injected_total",
+	"samie_disk_cache_hits_total",
+	"samie_disk_cache_misses_total",
+	"samie_disk_cache_writes_total",
+	"samie_energy_joules_total",
+	"samie_engine_canceled_total",
+	"samie_engine_distinct_runs",
+	"samie_engine_evictions_total",
+	"samie_engine_executed_total",
+	"samie_engine_hits_total",
+	"samie_engine_inflight",
+	"samie_engine_queue_depth",
+	"samie_engine_requests_total",
+	"samie_engine_workers",
+	"samie_http_inflight",
+	"samie_http_max_concurrent",
+	"samie_http_probe_hits_total",
+	"samie_http_probe_misses_total",
+	"samie_http_request_seconds",
+	"samie_http_requests_total",
+	"samie_http_suite_specs_total",
+	"samie_http_throttled_total",
+	"samie_lsq_occupancy",
+	"samie_preloaded_runs",
+	"samie_process_goroutines",
+	"samie_process_heap_bytes",
+	"samie_run_phase_seconds",
+	"samie_store_hits_total",
+	"samie_store_misses_total",
+	"samie_store_peer_fetch_seconds",
+	"samie_store_peer_installs_total",
+	"samie_trace_spans_dropped_total",
+	"samie_uptime_seconds",
+}

@@ -236,8 +236,8 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 		`samie_run_phase_seconds_count{phase=persist}`:            1,
 		`samie_store_misses_total{tier=disk}`:                     1,
 		// Interval-telemetry rollups from the simulated run.
-		`samie_lsq_occupancy{benchmark=gzip,stat=peak}`:           1,
-		`samie_energy_joules_total{structure=dcache}`:             1e-18,
+		`samie_lsq_occupancy{benchmark=gzip,stat=peak}`: 1,
+		`samie_energy_joules_total{structure=dcache}`:   1e-18,
 	} {
 		if values[key] < min {
 			t.Errorf("%s = %g, want >= %g", key, values[key], min)
@@ -252,5 +252,23 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 		if _, ok := values[family]; !ok {
 			t.Errorf("metric family %s missing from the exposition", family)
 		}
+	}
+
+	// The rendered family set must equal the metricFamilies registry
+	// exactly — the same list the promnames analyzer statically diffs
+	// against the registration sites, so a new or renamed metric
+	// cannot ship without updating both.
+	unlisted := make(map[string]bool, len(kinds))
+	for name := range kinds {
+		unlisted[name] = true
+	}
+	for _, fam := range metricFamilies {
+		if !unlisted[fam] {
+			t.Errorf("metricFamilies lists %s but the populated exposition never rendered it", fam)
+		}
+		delete(unlisted, fam)
+	}
+	for name := range unlisted {
+		t.Errorf("family %s rendered but missing from metricFamilies", name)
 	}
 }

@@ -204,6 +204,8 @@ func (s *Set) CounterNames() []string {
 }
 
 // String renders the set for debugging.
+//
+//samie:deterministic
 func (s *Set) String() string {
 	var b strings.Builder
 	for _, n := range s.CounterNames() {
@@ -244,6 +246,8 @@ func (t *Table) AddRow(cells ...any) {
 func (t *Table) NumRows() int { return len(t.rows) }
 
 // String renders the table with aligned columns.
+//
+//samie:deterministic
 func (t *Table) String() string {
 	width := make([]int, len(t.header))
 	for i, h := range t.header {
@@ -280,6 +284,8 @@ func (t *Table) String() string {
 
 // FormatFloat renders a float with a sensible number of digits for
 // table output.
+//
+//samie:deterministic
 func FormatFloat(v float64) string {
 	switch {
 	case v == math.Trunc(v) && math.Abs(v) < 1e15:

@@ -105,12 +105,14 @@ func SharedStream(p Params) *SlabStream {
 	// The footprint is re-summed here (acquisition is rare relative to
 	// generation) and lags in-flight growth by design.
 	var used int64
+	//lint:ordered commutative integer sum
 	for _, v := range c.m {
 		used += v.slab.Bytes()
 	}
 	for used > c.limit && len(c.m) > 1 {
 		var coldK Params
 		var cold *slabEntry
+		//lint:ordered eviction victim choice is cache policy, invisible in any replayed instruction sequence
 		for k, v := range c.m {
 			if v != e && (cold == nil || v.lastUse < cold.lastUse) {
 				coldK, cold = k, v

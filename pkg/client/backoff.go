@@ -36,6 +36,8 @@ const (
 )
 
 // jitterFrac maps (seed, key, attempt) to a uniform fraction in [0, 1).
+//
+//samie:deterministic
 func jitterFrac(seed uint64, key string, attempt int) float64 {
 	h := fnv.New64a()
 	var buf [8]byte

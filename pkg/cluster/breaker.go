@@ -102,6 +102,7 @@ func (s *breakerSet) snapshot() (trips int64, open int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := time.Now()
+	//lint:ordered commutative count of open breakers
 	for _, e := range s.m {
 		if !e.openedAt.IsZero() && !now.After(e.openedAt.Add(s.cooldown)) {
 			open++

@@ -417,7 +417,18 @@ func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error)
 		return client.StatsResponse{}, err
 	}
 	agg := client.StatsResponse{RunPhases: obs.PhaseStats{}}
-	for _, st := range per {
+	// Fold replicas in sorted-URL order: the aggregate includes
+	// float64 sums (energy, histogram totals, occupancy aggregates)
+	// whose rounding depends on addition order, so folding in map
+	// order would make repeated -stats calls disagree in the last
+	// bits. Sorting pins the fold order fleet-wide.
+	reps := make([]string, 0, len(per))
+	for rep := range per {
+		reps = append(reps, rep)
+	}
+	sort.Strings(reps)
+	for _, rep := range reps {
+		st := per[rep]
 		agg.RunPhases.Add(st.RunPhases)
 		agg.Engine.Requests += st.Engine.Requests
 		agg.Engine.Executed += st.Engine.Executed
@@ -449,6 +460,7 @@ func (c *ShardedClient) Stats(ctx context.Context) (client.StatsResponse, error)
 		if len(st.TimelineStats) > 0 && agg.TimelineStats == nil {
 			agg.TimelineStats = map[string]obs.OccupancyAgg{}
 		}
+		//lint:ordered distinct benchmarks merge into distinct entries; cross-replica order is pinned by the sorted fold above
 		for bench, oa := range st.TimelineStats {
 			cur := agg.TimelineStats[bench]
 			cur.Add(oa)

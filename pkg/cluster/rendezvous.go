@@ -58,6 +58,8 @@ func (r *Rendezvous) Replicas() []string { return slices.Clone(r.replicas) }
 // weight is the pinned HRW weight: FNV-1a over replica, a zero
 // separator, and the key. Do not change it — every deployed
 // coordinator must compute identical weights.
+//
+//samie:deterministic
 func weight(replica, key string) uint64 {
 	h := fnv.New64a()
 	io.WriteString(h, replica)

@@ -181,6 +181,7 @@ func (c *ShardedClient) RunSpecs(ctx context.Context, specs []experiments.RunSpe
 		var wg sync.WaitGroup
 		errsMu := sync.Mutex{}
 		var lastErr, fatalErr, throttleErr error
+		//lint:ordered shards run concurrently per replica; launch order is immaterial and shard bodies are already key-sorted
 		for rep, shard := range shards {
 			wg.Add(1)
 			go func(rep string, shard []shardItem) {
@@ -479,6 +480,7 @@ func (c *ShardedClient) assemble(ctx context.Context, specs []experiments.RunSpe
 		return nil, err
 	}
 	local := experiments.NewBatch(0)
+	//lint:ordered each key installs its own result; Offer is per-key with no cross-key state
 	for key, rr := range results {
 		local.Offer(byKey[key], rr.Result())
 	}
